@@ -1,0 +1,68 @@
+"""Figure 6: execution-time breakdown — sampling vs. scheduling index.
+
+"The time spent in building scheduling index ranges from 5% of the
+total time in ClusterGCN for sampling LiveJ graph to 40.4% of the total
+time in DeepWalk for sampling Orkut graph.  Random walks spend a higher
+fraction of time building the scheduling index ... because they sample
+only a single vertex per step, leading to fewer common samples and less
+work per transit."
+
+Reproduced claim: random walks' index share exceeds the bulk samplers'
+(k-hop, layer, importance) on every graph, and collective applications
+sit at the low end.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    GRAPHS_IN_MEMORY,
+    format_table,
+    print_experiment,
+    run_engine,
+    save_results,
+)
+from repro.core.engine import NextDoorEngine
+
+APPS = ["DeepWalk", "PPR", "node2vec", "MultiRW", "k-hop", "Layer",
+        "FastGCN", "LADIES", "MVS", "ClusterGCN"]
+WALKS = ("DeepWalk", "PPR", "node2vec", "MultiRW")
+
+
+def _breakdown():
+    engine = NextDoorEngine()
+    data = {}
+    for app in APPS:
+        data[app] = {}
+        for graph in GRAPHS_IN_MEMORY:
+            result = run_engine(engine, app, graph, seed=1)
+            data[app][graph] = (result.scheduling_index_seconds
+                                / max(result.seconds, 1e-12))
+    return data
+
+
+def test_fig6_breakdown(benchmark, record_table):
+    data = benchmark.pedantic(_breakdown, rounds=1, iterations=1)
+    rows = [[app] + [f"{data[app][g]:.0%}" for g in GRAPHS_IN_MEMORY]
+            for app in APPS]
+    table = format_table(["App (index share)"] + list(GRAPHS_IN_MEMORY), rows)
+    print_experiment(
+        "Figure 6: scheduling-index share of NextDoor's execution time",
+        table,
+        notes=["paper: 5% (ClusterGCN/LiveJ) to 40.4% (DeepWalk/Orkut); "
+               "walks highest"])
+    save_results("fig6_breakdown", data)
+
+    walk_share = np.mean([data[a][g] for a in WALKS
+                          for g in GRAPHS_IN_MEMORY])
+    bulk_share = np.mean([data[a][g] for a in ("k-hop", "Layer", "FastGCN",
+                                               "LADIES", "ClusterGCN")
+                          for g in GRAPHS_IN_MEMORY])
+    assert walk_share > bulk_share, \
+        "random walks must spend relatively more time on the index"
+    collective_min = min(data[a][g] for a in ("Layer", "FastGCN", "LADIES")
+                         for g in GRAPHS_IN_MEMORY)
+    assert collective_min < 0.15, "collective apps sit at the low end"
+    for app in APPS:
+        for g in GRAPHS_IN_MEMORY:
+            assert 0.0 < data[app][g] < 0.95
+    record_table(walk_share=walk_share, bulk_share=bulk_share)

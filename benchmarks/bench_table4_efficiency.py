@@ -1,0 +1,77 @@
+"""Table 4: global-memory store efficiency & multiprocessor activity.
+
+"NextDoor performs fully efficient global memory stores because of the
+sub-warp execution. ... For PPI, Multiprocessor Activity is low because
+PPI is a small graph and not enough threads are generated to fully
+utilize all SMs.  For all [other] graphs NextDoor fully utilizes all
+SMs."
+
+Reproduced claims (sampling-phase metrics, since the store-efficiency
+claim is about the sub-warp sampling kernels, not the CUB sort):
+- store efficiency ~100% for every (app, graph) cell;
+- multiprocessor activity lowest on PPI, high on the larger graphs.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    GRAPHS_IN_MEMORY,
+    format_table,
+    print_experiment,
+    run_engine,
+    save_results,
+)
+from repro.core.engine import NextDoorEngine
+
+APPS = ["k-hop", "Layer", "DeepWalk", "PPR", "node2vec"]
+
+
+def _metrics():
+    nd = NextDoorEngine()
+    data = {}
+    for app in APPS:
+        data[app] = {}
+        for graph in GRAPHS_IN_MEMORY:
+            result = run_engine(nd, app, graph, seed=1)
+            sampling = result.metrics_by_phase["sampling"]
+            data[app][graph] = {
+                "store_efficiency": sampling.counters.store_efficiency,
+                "mp_activity": sampling.multiprocessor_activity,
+            }
+    return data
+
+
+def test_table4_efficiency(benchmark, record_table):
+    data = benchmark.pedantic(_metrics, rounds=1, iterations=1)
+    rows = []
+    for app in APPS:
+        rows.append(
+            [app]
+            + [f"{data[app][g]['store_efficiency']:.0%}"
+               for g in GRAPHS_IN_MEMORY]
+            + [f"{data[app][g]['mp_activity']:.0%}"
+               for g in GRAPHS_IN_MEMORY])
+    headers = (["App"] + [f"eff:{g}" for g in GRAPHS_IN_MEMORY]
+               + [f"act:{g}" for g in GRAPHS_IN_MEMORY])
+    table = format_table(headers, rows)
+    print_experiment("Table 4: store efficiency and SM activity "
+                     "(sampling kernels)", table,
+                     notes=["paper: efficiency 98.5-100%; activity low "
+                            "only on PPI"])
+    save_results("table4_efficiency", data)
+
+    for app in APPS:
+        for g in GRAPHS_IN_MEMORY:
+            assert data[app][g]["store_efficiency"] > 0.9, (app, g)
+        ppi_act = data[app]["ppi"]["mp_activity"]
+        other_act = np.mean([data[app][g]["mp_activity"]
+                             for g in GRAPHS_IN_MEMORY if g != "ppi"])
+        # PPI never exceeds the larger graphs; for the walks (one
+        # thread per walker) it is strictly starved, exactly the
+        # paper's explanation.
+        assert ppi_act <= other_act + 1e-3, (app, ppi_act, other_act)
+        if app in ("DeepWalk", "PPR", "node2vec"):
+            assert ppi_act < other_act, (app, ppi_act, other_act)
+    record_table(min_efficiency=min(
+        data[a][g]["store_efficiency"] for a in APPS
+        for g in GRAPHS_IN_MEMORY))

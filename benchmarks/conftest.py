@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` file regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Tables are printed
+(visible with ``pytest -s``) and archived under
+``benchmarks/results/*.json``; pytest-benchmark times a representative
+engine run for each experiment.
+"""
+
+import pytest
+
+
+def pytest_collect_file(parent, file_path):
+    """Nothing custom — benchmarks are ordinary pytest files."""
+    return None
+
+
+@pytest.fixture
+def record_table(benchmark):
+    """Attach a computed table's key numbers to the benchmark record."""
+
+    def _record(**kwargs):
+        for key, value in kwargs.items():
+            benchmark.extra_info[key] = value
+
+    return _record

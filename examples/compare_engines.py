@@ -1,0 +1,60 @@
+"""Head-to-head: NextDoor against every baseline the paper evaluates.
+
+A miniature of Figures 7 and 9: one table of modeled execution times
+per (application, engine) on the LiveJournal stand-in, with the
+speedups NextDoor's transit-parallelism buys.
+
+    python examples/compare_engines.py
+"""
+
+from repro.baselines import (
+    FrontierEngine,
+    KnightKingEngine,
+    MessagePassingEngine,
+    ReferenceSamplerEngine,
+    SampleParallelEngine,
+    VanillaTPEngine,
+)
+from repro.bench import paper_app, paper_graph, walk_sample_count
+from repro.core.engine import NextDoorEngine
+
+APPS = ["DeepWalk", "node2vec", "k-hop", "FastGCN"]
+ENGINES = [
+    ("NextDoor", NextDoorEngine()),
+    ("SP", SampleParallelEngine()),
+    ("TP", VanillaTPEngine()),
+    ("KnightKing", KnightKingEngine()),
+    ("GNN sampler", ReferenceSamplerEngine()),
+    ("Gunrock-style", FrontierEngine()),
+    ("Tigr-style", MessagePassingEngine()),
+]
+
+
+def main() -> None:
+    print(f"{'engine':14s} " + " ".join(f"{a:>12s}" for a in APPS))
+    baseline = {}
+    for engine_name, engine in ENGINES:
+        cells = []
+        for app_name in APPS:
+            graph = paper_graph("livej", app_name, seed=0)
+            ns = walk_sample_count(graph, app_name)
+            try:
+                r = engine.run(paper_app(app_name), graph,
+                               num_samples=ns, seed=1)
+                seconds = r.seconds
+            except ValueError:
+                cells.append(f"{'n/a':>12s}")
+                continue
+            if engine_name == "NextDoor":
+                baseline[app_name] = seconds
+                cells.append(f"{seconds * 1e3:9.2f} ms")
+            else:
+                speedup = seconds / baseline[app_name]
+                cells.append(f"{speedup:10.1f}x")
+        print(f"{engine_name:14s} " + " ".join(cells))
+    print("\n(NextDoor row: modeled time; other rows: how much slower "
+          "than NextDoor)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Writing your own sampling application.
+
+The paper's pitch (Section 4): a new graph-sampling algorithm is a
+handful of user-defined functions — ``next``, ``steps``,
+``sampleSize``, ``samplingType``, ``stepTransits`` — and NextDoor runs
+it efficiently on the GPU.  This example implements **forest-fire
+sampling** (Leskovec et al.): from each transit, "burn" a random
+number of neighbors, which become the next step's transits.
+
+Only the base-class reference path is implemented (no vectorised
+kernel), which is exactly what a domain expert would write first; the
+engine runs it through the same transit-parallel machinery.
+
+    python examples/custom_sampler.py
+"""
+
+import numpy as np
+
+from repro import NextDoorEngine, datasets
+from repro.api.app import NULL_VERTEX, SamplingApp, SamplingType
+
+
+class ForestFire(SamplingApp):
+    """Burn up to ``fanout`` neighbors per transit, each surviving
+    with probability ``burn_prob``, for ``depth`` rounds."""
+
+    name = "forest-fire"
+
+    def __init__(self, burn_prob: float = 0.7, fanout: int = 3,
+                 depth: int = 3) -> None:
+        self.burn_prob = burn_prob
+        self.fanout = fanout
+        self.depth = depth
+
+    # -- the paper's user-defined functions ---------------------------
+
+    def steps(self) -> int:
+        return self.depth
+
+    def sample_size(self, step: int) -> int:
+        return self.fanout
+
+    def unique(self, step: int) -> bool:
+        return True  # a vertex burns at most once per step
+
+    def sampling_type(self) -> SamplingType:
+        return SamplingType.INDIVIDUAL
+
+    def next(self, sample, transits, src_edges, step, rng) -> int:
+        if src_edges.size == 0 or rng.random() > self.burn_prob:
+            return NULL_VERTEX  # the fire dies out on this branch
+        return int(src_edges[rng.integers(0, src_edges.size)])
+
+
+def main() -> None:
+    graph = datasets.load("ppi", seed=0)
+
+    # First: check the implementation against the API contract.  The
+    # validator runs the app through every engine-facing obligation and
+    # raises a targeted error at the first violation.
+    from repro.api.validate import validate_app
+    checks = validate_app(ForestFire(), graph)
+    print(f"validate_app: {len(checks)} contract checks passed")
+
+    engine = NextDoorEngine()
+    result = engine.run(ForestFire(burn_prob=0.7, fanout=3, depth=3),
+                        graph, num_samples=256, seed=1)
+
+    samples = result.get_final_samples()
+    sizes = (samples != NULL_VERTEX).sum(axis=1)
+    print(f"forest-fire on {graph}")
+    print(f"  sampled {samples.shape[0]} fires, "
+          f"mean burned vertices: {sizes.mean():.1f} "
+          f"(max possible {samples.shape[1]})")
+    print(f"  one fire: {[v for v in samples[0] if v != NULL_VERTEX]}")
+    print(f"  modeled GPU time: {result.seconds * 1e3:.3f} ms "
+          f"({result.steps_run} steps)")
+
+    # The burn probability controls the fire's spread:
+    for p in (0.3, 0.6, 0.9):
+        r = engine.run(ForestFire(burn_prob=p, fanout=3, depth=3),
+                       graph, num_samples=256, seed=1)
+        burned = (r.get_final_samples() != NULL_VERTEX).sum(axis=1).mean()
+        print(f"  burn_prob={p:.1f}: mean burned = {burned:.1f}")
+
+
+if __name__ == "__main__":
+    main()

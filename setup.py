@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs a legacy path when PEP 517 build isolation
+is unavailable (offline) and ``wheel`` is absent; all real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

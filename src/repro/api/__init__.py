@@ -1,0 +1,32 @@
+"""The graph-sampling abstraction of the paper (Sections 3-4).
+
+Users implement a :class:`~repro.api.app.SamplingApp` — the Python
+analogue of the user-defined functions in Figure 3 (``next``,
+``steps``, ``sampleSize``, ``unique``, ``samplingType``,
+``stepTransits``) — and hand it to an engine.  The built-in
+applications of Section 4.2 live in :mod:`repro.api.apps`.
+"""
+
+from repro.api.app import (
+    INF_STEPS,
+    NULL_VERTEX,
+    SamplingApp,
+    SamplingType,
+)
+from repro.api.sample import Sample, SampleBatch
+from repro.api.types import StepInfo
+from repro.api.validate import AppValidationError, validate_app
+from repro.api.vertex import Vertex
+
+__all__ = [
+    "AppValidationError",
+    "INF_STEPS",
+    "NULL_VERTEX",
+    "Sample",
+    "SampleBatch",
+    "SamplingApp",
+    "SamplingType",
+    "StepInfo",
+    "Vertex",
+    "validate_app",
+]

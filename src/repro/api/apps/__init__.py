@@ -1,0 +1,49 @@
+"""Built-in sampling applications (paper Section 4.2).
+
+==================  ==============================================  ==========
+Application         Paper source                                    Type
+==================  ==============================================  ==========
+:class:`DeepWalk`   Perozzi et al. — (edge-weight-)biased walk      individual
+:class:`PPR`        Personalized PageRank — variable-length walk    individual
+:class:`Node2Vec`   Grover & Leskovec — 2nd-order rejection walk    individual
+:class:`MultiRW`    Ribeiro & Towsley — multi-dimensional walk      individual
+:class:`KHop`       GraphSAGE — k-hop neighborhood                  individual
+:class:`MVS`        Cong et al. — minimal-variance sampling         individual
+:class:`Layer`      Gao et al. — layer sampling                     collective
+:class:`FastGCN`    Chen et al. — importance sampling               collective
+:class:`LADIES`     Zou et al. — layer-dependent importance         collective
+:class:`ClusterGCN` Chiang et al. — cluster sampling                collective
+==================  ==============================================  ==========
+"""
+
+from repro.api.apps.deepwalk import DeepWalk
+from repro.api.apps.ppr import PPR
+from repro.api.apps.node2vec import Node2Vec
+from repro.api.apps.multirw import MultiRW
+from repro.api.apps.khop import KHop, MVS
+from repro.api.apps.layer import Layer
+from repro.api.apps.importance import FastGCN, LADIES
+from repro.api.apps.clustergcn import ClusterGCN
+from repro.api.apps.extra_walks import MHRW, RWR
+
+__all__ = [
+    "ClusterGCN",
+    "DeepWalk",
+    "FastGCN",
+    "KHop",
+    "LADIES",
+    "Layer",
+    "MHRW",
+    "MVS",
+    "MultiRW",
+    "Node2Vec",
+    "PPR",
+    "RWR",
+]
+
+#: All random-walk applications (the KnightKing comparison set).
+RANDOM_WALKS = (DeepWalk, PPR, Node2Vec)
+
+#: The full benchmark set in the order the paper's figures use.
+ALL_APPS = (DeepWalk, PPR, Node2Vec, MultiRW, KHop, Layer,
+            FastGCN, LADIES, MVS, ClusterGCN)

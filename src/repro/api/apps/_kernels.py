@@ -1,0 +1,148 @@
+"""Vectorised sampling primitives shared by the built-in applications.
+
+Each primitive consumes a flat array of transit vertices (NULL entries
+pass through as NULL) and produces the step's new vertices for every
+(sample, transit) pair at once.  These are the numpy equivalents of the
+GPU kernels' inner loops; the per-vertex reference path in
+:class:`~repro.api.app.SamplingApp` computes the same distributions one
+vertex at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.api.types import NULL_VERTEX
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "uniform_neighbors",
+    "weighted_neighbors",
+    "segment_uniform_choice",
+    "build_combined_neighborhood",
+]
+
+
+def uniform_neighbors(graph: CSRGraph, transits: np.ndarray, m: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Choose ``m`` uniform neighbors (with replacement) per transit.
+
+    Returns ``(K, m)``; NULL transits and zero-degree transits yield
+    NULL rows.
+    """
+    transits = np.asarray(transits, dtype=np.int64)
+    out = np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
+    live = transits != NULL_VERTEX
+    if not live.any() or m == 0:
+        return out
+    t = transits[live]
+    deg = (graph.indptr[t + 1] - graph.indptr[t]).astype(np.int64)
+    has_nbrs = deg > 0
+    if not has_nbrs.any():
+        return out
+    t = t[has_nbrs]
+    deg = deg[has_nbrs]
+    # Uniform index into each row, for each of the m draws.
+    r = rng.random(size=(t.size, m))
+    picks = (r * deg[:, None]).astype(np.int64)
+    picks = np.minimum(picks, (deg - 1)[:, None])
+    rows = graph.indptr[t][:, None] + picks
+    sampled = graph.indices[rows]
+    live_idx = np.nonzero(live)[0][has_nbrs]
+    out[live_idx] = sampled
+    return out
+
+
+def weighted_neighbors(graph: CSRGraph, transits: np.ndarray, m: int,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Choose ``m`` neighbors per transit with probability proportional
+    to edge weight (DeepWalk's biased static walk), by binary search in
+    each row's weight prefix sum."""
+    if not graph.is_weighted:
+        return uniform_neighbors(graph, transits, m, rng)
+    transits = np.asarray(transits, dtype=np.int64)
+    out = np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
+    live = transits != NULL_VERTEX
+    if not live.any() or m == 0:
+        return out
+    t = transits[live]
+    starts = graph.indptr[t]
+    ends = graph.indptr[t + 1]
+    deg = ends - starts
+    has_nbrs = deg > 0
+    if not has_nbrs.any():
+        return out
+    t = t[has_nbrs]
+    starts = starts[has_nbrs]
+    ends = ends[has_nbrs]
+    cumsum = graph.global_weight_cumsum()
+    base = np.where(starts > 0, cumsum[starts - 1], 0.0)
+    totals = cumsum[ends - 1] - base
+    live_idx = np.nonzero(live)[0][has_nbrs]
+    for j in range(m):
+        # One global binary search answers every row at once: the
+        # cumsum is monotone and each row's mass spans its CSR slice.
+        target = base + rng.random(size=t.size) * totals
+        pos = np.searchsorted(cumsum, target, side="right")
+        pos = np.clip(pos, starts, ends - 1)
+        out[live_idx, j] = graph.indices[pos]
+    return out
+
+
+def segment_uniform_choice(values: np.ndarray, offsets: np.ndarray, m: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Choose ``m`` uniform elements (with replacement) from each ragged
+    segment ``values[offsets[s]:offsets[s+1]]``; empty segments yield
+    NULL rows.  Used by collective sampling over combined
+    neighborhoods."""
+    num_segments = offsets.size - 1
+    out = np.full((num_segments, m), NULL_VERTEX, dtype=np.int64)
+    sizes = np.diff(offsets)
+    live = sizes > 0
+    if not live.any() or m == 0:
+        return out
+    r = rng.random(size=(int(live.sum()), m))
+    picks = (r * sizes[live][:, None]).astype(np.int64)
+    picks = np.minimum(picks, (sizes[live] - 1)[:, None])
+    rows = offsets[:-1][live][:, None] + picks
+    out[live] = values[rows]
+    return out
+
+
+def build_combined_neighborhood(
+    graph: CSRGraph, transits: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate the neighborhoods of each sample's transits.
+
+    ``transits`` is ``(S, T)`` (NULL-padded).  Returns ``(values,
+    offsets)`` where sample ``s`` owns
+    ``values[offsets[s]:offsets[s+1]]``.  This is the structure the
+    transit-parallel combined-neighborhood kernel of Section 6.2
+    produces in device memory.
+    """
+    transits = np.asarray(transits, dtype=np.int64)
+    num_samples = transits.shape[0]
+    flat = transits.ravel()
+    live = flat != NULL_VERTEX
+    deg = np.zeros(flat.size, dtype=np.int64)
+    deg[live] = graph.indptr[flat[live] + 1] - graph.indptr[flat[live]]
+    per_sample = deg.reshape(num_samples, -1).sum(axis=1)
+    offsets = np.zeros(num_samples + 1, dtype=np.int64)
+    np.cumsum(per_sample, out=offsets[1:])
+    values = np.empty(int(offsets[-1]), dtype=np.int64)
+    # Gather each transit's row into its slot.  The ragged gather is a
+    # short Python loop over *transit columns*, not elements.
+    cursor = offsets[:-1].copy()
+    cols = transits.shape[1]
+    for c in range(cols):
+        col = transits[:, c]
+        col_live = col != NULL_VERTEX
+        idx = np.nonzero(col_live)[0]
+        for s in idx:
+            v = col[s]
+            row = graph.indices[graph.indptr[v]:graph.indptr[v + 1]]
+            values[cursor[s]:cursor[s] + row.size] = row
+            cursor[s] += row.size
+    return values, offsets

@@ -1,0 +1,168 @@
+"""Importance sampling: FastGCN and LADIES.
+
+"In FastGCN and LADIES every sample includes an adjacency matrix that
+records the edges between vertices added in the previous step (the
+transit vertices) and the current step.  At each step i, m_i vertices
+are sampled from the graph according to a probability distribution and
+these vertices are added to the sample." (Section 4.2)
+
+- **FastGCN** samples layer-independently from the whole graph with
+  importance ``q(v) ∝ deg(v) + 1`` (a degree-squared norm in the
+  original; degree-proportional here — the distribution's exact shape
+  doesn't change the systems behaviour being reproduced).
+- **LADIES** is layer-*dependent*: candidates are restricted to the
+  combined neighborhood of the sample's transits, again weighted by
+  degree.
+
+Both are collective transit sampling; the paper sets batch size and
+step size to 64.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.api.app import SamplingApp
+from repro.api.sample import Sample, SampleBatch
+from repro.api.types import NULL_VERTEX, SamplingType, StepInfo
+from repro.graph.csr import CSRGraph
+
+__all__ = ["FastGCN", "LADIES"]
+
+
+class FastGCN(SamplingApp):
+    """Layer-independent importance sampling."""
+
+    name = "FastGCN"
+    #: Samples from the whole graph: the combined neighborhood's values
+    #: are never read (only edges back to transits are recorded).
+    needs_combined_values = False
+
+    def __init__(self, step_size: int = 64, num_steps: int = 2,
+                 batch_size: int = 64) -> None:
+        if min(step_size, num_steps, batch_size) < 1:
+            raise ValueError("parameters must be >= 1")
+        self.step_size = step_size
+        self.num_steps = num_steps
+        self.batch_size = batch_size
+        self._probs_cache: Optional[np.ndarray] = None
+
+    # Paper UDFs ------------------------------------------------------
+
+    def steps(self) -> int:
+        return self.num_steps
+
+    def sample_size(self, step: int) -> int:
+        return self.step_size
+
+    def sampling_type(self) -> SamplingType:
+        return SamplingType.COLLECTIVE
+
+    def initial_roots(self, graph: CSRGraph, num_samples: int,
+                      rng: np.random.Generator) -> np.ndarray:
+        return self.random_roots(graph, (num_samples, self.batch_size), rng)
+
+    def _importance(self, graph: CSRGraph) -> np.ndarray:
+        if self._probs_cache is None or self._probs_cache.size != graph.num_vertices:
+            weights = graph.degrees().astype(np.float64) + 1.0
+            self._probs_cache = weights / weights.sum()
+        return self._probs_cache
+
+    def next(self, sample: Sample, transits: np.ndarray,
+             src_edges: np.ndarray, step: int,
+             rng: np.random.Generator) -> int:
+        graph = sample.graph
+        probs = self._importance(graph)
+        v = int(rng.choice(graph.num_vertices, p=probs))
+        return v
+
+    # Vectorised path -------------------------------------------------
+
+    def sample_from_neighborhood(
+        self,
+        graph: CSRGraph,
+        batch: SampleBatch,
+        neigh_values: np.ndarray,
+        sample_offsets: np.ndarray,
+        transits: np.ndarray,
+        step: int,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, StepInfo]:
+        probs = self._importance(graph)
+        # Inverse-transform over the global importance CDF.
+        cdf = np.cumsum(probs)
+        draws = rng.random(size=(batch.num_samples, self.step_size))
+        out = np.searchsorted(cdf, draws).astype(np.int64)
+        out = np.minimum(out, graph.num_vertices - 1)
+        return out, StepInfo(avg_compute_cycles=12.0)
+
+    def record_step_edges(
+        self,
+        graph: CSRGraph,
+        batch: SampleBatch,
+        transits: np.ndarray,
+        new_vertices: np.ndarray,
+        step: int,
+    ) -> Optional[np.ndarray]:
+        """Record edges between each transit and each new vertex when
+        they exist in the graph (the sample's layer adjacency)."""
+        num_samples = transits.shape[0]
+        t_width = transits.shape[1]
+        v_width = new_vertices.shape[1]
+        # All (sample, transit, new) combinations, filtered by liveness.
+        t_rep = np.repeat(transits, v_width, axis=1).ravel()
+        v_rep = np.tile(new_vertices, (1, t_width)).ravel()
+        s_rep = np.repeat(np.arange(num_samples), t_width * v_width)
+        live = (t_rep != NULL_VERTEX) & (v_rep != NULL_VERTEX)
+        t_rep, v_rep, s_rep = t_rep[live], v_rep[live], s_rep[live]
+        if t_rep.size == 0:
+            return np.zeros((0, 3), dtype=np.int64)
+        exists = graph.has_edges(t_rep, v_rep)
+        return np.stack([s_rep[exists], t_rep[exists], v_rep[exists]], axis=1)
+
+
+class LADIES(FastGCN):
+    """Layer-dependent importance sampling: candidates restricted to
+    the combined neighborhood of the sample's transits."""
+
+    name = "LADIES"
+    #: LADIES *does* read the combined neighborhood: its candidates.
+    needs_combined_values = True
+
+    def next(self, sample: Sample, transits: np.ndarray,
+             src_edges: np.ndarray, step: int,
+             rng: np.random.Generator) -> int:
+        if src_edges.size == 0:
+            return NULL_VERTEX
+        graph = sample.graph
+        weights = graph.degrees()[src_edges].astype(np.float64) + 1.0
+        weights /= weights.sum()
+        return int(rng.choice(src_edges, p=weights))
+
+    def sample_from_neighborhood(
+        self,
+        graph: CSRGraph,
+        batch: SampleBatch,
+        neigh_values: np.ndarray,
+        sample_offsets: np.ndarray,
+        transits: np.ndarray,
+        step: int,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, StepInfo]:
+        out = np.full((batch.num_samples, self.step_size), NULL_VERTEX,
+                      dtype=np.int64)
+        degrees = graph.degrees()
+        for s in range(batch.num_samples):
+            lo, hi = int(sample_offsets[s]), int(sample_offsets[s + 1])
+            candidates = neigh_values[lo:hi]
+            if candidates.size == 0:
+                continue
+            weights = degrees[candidates].astype(np.float64) + 1.0
+            cdf = np.cumsum(weights)
+            draws = rng.random(self.step_size) * cdf[-1]
+            picks = np.searchsorted(cdf, draws)
+            picks = np.minimum(picks, candidates.size - 1)
+            out[s] = candidates[picks]
+        return out, StepInfo(avg_compute_cycles=14.0)

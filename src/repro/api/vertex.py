@@ -1,0 +1,67 @@
+"""The paper's ``Vertex`` utility class (Section 4.1).
+
+"The Vertex class has utility methods for computing the vertex degree,
+the maximum weight of all edges (maxEdgeWeight), and the prefix sum of
+all edges' weights.  Users can extend the class to include
+application-specific vertex attributes to be added to the samples."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["Vertex"]
+
+
+class Vertex:
+    """A lightweight view of one graph vertex.
+
+    Subclass to attach application-specific attributes; engines never
+    construct these on the hot path (the vectorised kernels read the
+    CSR arrays directly), so the class stays a convenience for user
+    ``next`` functions and inspection.
+    """
+
+    __slots__ = ("graph", "id")
+
+    def __init__(self, graph: CSRGraph, vertex_id: int) -> None:
+        if not 0 <= vertex_id < graph.num_vertices:
+            raise ValueError(f"vertex id {vertex_id} out of range")
+        self.graph = graph
+        self.id = int(vertex_id)
+
+    def degree(self) -> int:
+        return self.graph.degree(self.id)
+
+    def neighbors(self) -> np.ndarray:
+        return self.graph.neighbors(self.id)
+
+    def has_edge(self, other: int) -> bool:
+        return self.graph.has_edge(self.id, int(other))
+
+    def max_edge_weight(self) -> float:
+        """Maximum outgoing edge weight (node2vec's rejection envelope)."""
+        return self.graph.max_edge_weight(self.id)
+
+    def edge_weight_prefix_sum(self) -> np.ndarray:
+        """Cumulative outgoing edge weights (biased-walk inversion)."""
+        prefix = self.graph.weight_prefix()
+        return prefix[self.graph.indptr[self.id]:self.graph.indptr[self.id + 1]]
+
+    def __int__(self) -> int:
+        return self.id
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Vertex):
+            return self.id == other.id and self.graph is other.graph
+        if isinstance(other, (int, np.integer)):
+            return self.id == int(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+    def __repr__(self) -> str:
+        return f"Vertex({self.id}, degree={self.degree()})"

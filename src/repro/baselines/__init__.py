@@ -1,0 +1,35 @@
+"""Every comparator the paper evaluates against (Section 8).
+
+- :class:`SampleParallelEngine` (**SP**) — an optimised sample-parallel
+  GPU system built on the same API, with every NextDoor optimisation
+  that survives the paradigm change (fine-grained parallelism, load
+  balancing, coalesced writes).  Isolates the benefit of
+  transit-parallelism.
+- :class:`VanillaTPEngine` (**TP**) — transit-parallelism without
+  Section 6's load balancing/scheduling: one thread block per transit.
+- :class:`KnightKingEngine` — the CPU rejection-sampling random-walk
+  engine of Yang et al.; random walks only, as its API restricts.
+- :class:`ReferenceSamplerEngine` — the existing GNNs' CPU samplers
+  (GraphSAGE, GraphSAINT, FastGCN, LADIES, MVS, ClusterGCN reference
+  implementations).
+- :class:`FrontierEngine` — graph sampling forced into Gunrock's
+  frontier-centric abstraction (Section 7).
+- :class:`MessagePassingEngine` — graph sampling forced into Tigr's
+  message-passing abstraction (Section 7).
+"""
+
+from repro.baselines.sample_parallel import SampleParallelEngine
+from repro.baselines.vanilla_tp import VanillaTPEngine
+from repro.baselines.knightking import KnightKingEngine
+from repro.baselines.gnn_samplers import ReferenceSamplerEngine
+from repro.baselines.frontier import FrontierEngine
+from repro.baselines.message_passing import MessagePassingEngine
+
+__all__ = [
+    "FrontierEngine",
+    "KnightKingEngine",
+    "MessagePassingEngine",
+    "ReferenceSamplerEngine",
+    "SampleParallelEngine",
+    "VanillaTPEngine",
+]

@@ -1,0 +1,112 @@
+"""Reference CPU samplers of existing GNNs (Section 8.2, Figure 7b).
+
+"These samplers are written for TensorFlow or numpy and are designed to
+run only on multi-core CPUs, not GPUs."  The reference implementations
+drive Python/framework machinery per sampled vertex — op dispatch,
+list/dict bookkeeping, feed-dict marshalling — so their per-vertex cost
+is dominated by interpreter overhead rather than memory bandwidth, and
+the sampling loop itself is serial (the frameworks parallelise tensor
+math, not the Python sampling loop).
+
+This engine runs any application functionally (identical samples) and
+prices each produced vertex at reference-implementation cost on the
+paper's Xeon.  It stands in for: GraphSAGE's sampler (k-hop),
+GraphSAINT's (MultiRW), and the FastGCN / LADIES / MVS / ClusterGCN
+reference samplers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.api.app import SamplingApp
+from repro.api.types import NULL_VERTEX, SamplingType
+from repro.core import stepper
+from repro.core.engine import SamplingResult
+from repro.core.transit_map import flatten_transits
+from repro.gpu.cpu_model import CpuDevice, CpuTask
+from repro.gpu.spec import CPUSpec, XEON_SILVER_4216
+
+__all__ = ["ReferenceSamplerEngine"]
+
+#: Interpreter/framework ops charged per produced vertex — Python-level
+#: dict lookups, RNG calls, list appends, tensor marshalling.
+_OPS_PER_VERTEX = 150.0
+
+
+class ReferenceSamplerEngine:
+    """The existing GNNs' own CPU samplers."""
+
+    engine_name = "ReferenceSampler"
+
+    def __init__(self, spec: CPUSpec = XEON_SILVER_4216,
+                 use_reference: bool = False,
+                 ops_per_vertex: float = _OPS_PER_VERTEX) -> None:
+        self.spec = spec
+        self.use_reference = use_reference
+        self.ops_per_vertex = ops_per_vertex
+
+    def run(self, app: SamplingApp, graph,
+            num_samples: Optional[int] = None,
+            roots: Optional[np.ndarray] = None,
+            seed: int = 0) -> SamplingResult:
+        rng = np.random.default_rng(seed)
+        batch = stepper.init_batch(app, graph, num_samples, roots, rng)
+        cpu = CpuDevice(self.spec)
+        collective = app.sampling_type() is SamplingType.COLLECTIVE
+        limit = stepper.step_limit(app)
+        step = 0
+        while step < limit:
+            transits = app.transits_for_step(batch, step)
+            sample_ids, cols, vals = flatten_transits(transits)
+            if vals.size == 0:
+                break
+            m = app.sample_size(step)
+            if collective:
+                new_vertices, info, edges, neigh_sizes = \
+                    stepper.run_collective_step(
+                        app, graph, batch, transits, step, rng,
+                        use_reference=self.use_reference)
+                # The reference implementations materialise each
+                # sample's combined neighborhood as Python/numpy
+                # objects before selecting from it.
+                cpu.run([CpuTask(ops=float(neigh_sizes.mean()) * 4.0,
+                                 sequential_bytes=float(neigh_sizes.mean()) * 8,
+                                 random_accesses=float(
+                                     (transits != NULL_VERTEX).sum(axis=1).mean()),
+                                 count=batch.num_samples)],
+                        name=f"ref_neighborhood_{step}", parallel=False)
+                produced = batch.num_samples * max(m, 1)
+                cpu.run([CpuTask(ops=self.ops_per_vertex,
+                                 random_accesses=1.0,
+                                 count=produced)],
+                        name=f"ref_select_{step}", parallel=False)
+                if edges is not None:
+                    batch.record_edges(edges)
+                    cpu.run([CpuTask(ops=6.0, random_accesses=0.5,
+                                     count=int(vals.size) * max(m, 1))],
+                            name=f"ref_edges_{step}", parallel=False)
+            else:
+                new_vertices, info = stepper.run_individual_step(
+                    app, graph, batch, transits, step, rng,
+                    sample_ids, cols, vals,
+                    use_reference=self.use_reference)
+                produced = int(vals.size) * max(m, 1)
+                rounds = max(1.0, info.avg_compute_cycles / 10.0)
+                cpu.run([CpuTask(ops=self.ops_per_vertex * rounds,
+                                 random_accesses=1.0
+                                 + info.extra_global_reads_per_vertex,
+                                 count=produced)],
+                        name=f"ref_sample_{step}", parallel=False)
+            batch.append_step(new_vertices)
+            app.post_step(batch, new_vertices, step, rng)
+            step += 1
+            if m > 0 and not (new_vertices != NULL_VERTEX).any():
+                break
+        return SamplingResult(
+            app=app, graph_name=graph.name, batch=batch,
+            seconds=cpu.elapsed_seconds,
+            breakdown=cpu.timeline.phase_breakdown(),
+            metrics=None, steps_run=step, engine=self.engine_name)

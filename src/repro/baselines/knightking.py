@@ -1,0 +1,102 @@
+"""KnightKing: the CPU random-walk engine baseline (Yang et al., SOSP'19).
+
+KnightKing selects each walk step by rejection sampling against an
+envelope of the (possibly dynamic) edge bias — the exact technique
+NextDoor's node2vec uses — executed by CPU worker threads that each
+advance a partition of the walkers.  "Its API restricts expressing only
+random walks, hence, we use the system as a baseline only for random
+walks" (Section 8.2); this engine enforces the same restriction.
+
+Functional sampling reuses the applications' vectorised kernels (the
+distributions are identical); the cost model charges each walker-step
+to the 16-core CPU: one random (cache-missing) adjacency access plus
+the rejection arithmetic, and for node2vec the neighbor-membership
+probes.  For graphs exceeding GPU memory (Section 8.4) KnightKing has
+no transfer cost at all, which is why it beats NextDoor on cheap walks
+there.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.api.app import SamplingApp
+from repro.api.types import NULL_VERTEX, SamplingType
+from repro.core import stepper
+from repro.core.engine import SamplingResult
+from repro.core.transit_map import flatten_transits
+from repro.gpu.cpu_model import CpuDevice, CpuTask
+from repro.gpu.spec import CPUSpec, XEON_SILVER_4216
+
+__all__ = ["KnightKingEngine"]
+
+
+class KnightKingEngine:
+    """CPU rejection-sampling walk engine; random walks only."""
+
+    engine_name = "KnightKing"
+
+    def __init__(self, spec: CPUSpec = XEON_SILVER_4216,
+                 use_reference: bool = False) -> None:
+        self.spec = spec
+        self.use_reference = use_reference
+
+    def run(self, app: SamplingApp, graph,
+            num_samples: Optional[int] = None,
+            roots: Optional[np.ndarray] = None,
+            seed: int = 0) -> SamplingResult:
+        self._check_supported(app)
+        rng = np.random.default_rng(seed)
+        batch = stepper.init_batch(app, graph, num_samples, roots, rng)
+        cpu = CpuDevice(self.spec)
+        limit = stepper.step_limit(app)
+        step = 0
+        while step < limit:
+            transits = app.transits_for_step(batch, step)
+            sample_ids, cols, vals = flatten_transits(transits)
+            if vals.size == 0:
+                break
+            new_vertices, info = stepper.run_individual_step(
+                app, graph, batch, transits, step, rng,
+                sample_ids, cols, vals, use_reference=self.use_reference)
+            # One walker-step: fetch the transit's adjacency (a random
+            # access; short lists fit one cache line), draw + test.
+            rounds = max(1.0, info.avg_compute_cycles / 10.0)
+            probes = info.extra_global_reads_per_vertex
+            # Per walker-step: dequeue the walker message, fetch the
+            # adjacency (a random access), run the rejection rounds
+            # (binary-search draws hit the just-fetched row: arithmetic,
+            # not extra misses), enqueue the continuation.
+            cpu.run([CpuTask(ops=24.0 + 12.0 * rounds
+                             + 4.0 * info.cacheable_reads_per_vertex,
+                             random_accesses=1.0 + probes,
+                             count=int(vals.size))],
+                    name=f"walk_step_{step}")
+            # BSP super-step barrier across the worker threads (~1us).
+            cpu.run([CpuTask(ops=self.spec.clock_ghz * 1e3, count=1)],
+                    name=f"barrier_{step}", parallel=False)
+            batch.append_step(new_vertices)
+            app.post_step(batch, new_vertices, step, rng)
+            step += 1
+            if not (new_vertices != NULL_VERTEX).any():
+                break
+        return SamplingResult(
+            app=app, graph_name=graph.name, batch=batch,
+            seconds=cpu.elapsed_seconds,
+            breakdown=cpu.timeline.phase_breakdown(),
+            metrics=None, steps_run=step, engine=self.engine_name)
+
+    @staticmethod
+    def _check_supported(app: SamplingApp) -> None:
+        """KnightKing expresses random walks only: individual transit
+        sampling adding one vertex per sample per step."""
+        if app.sampling_type() is not SamplingType.INDIVIDUAL:
+            raise ValueError(
+                f"KnightKing cannot express {app.name}: collective "
+                "transit sampling is outside its random-walk API")
+        if app.sample_size(0) != 1:
+            raise ValueError(
+                f"KnightKing cannot express {app.name}: it samples "
+                f"{app.sample_size(0)} vertices per step, not 1")

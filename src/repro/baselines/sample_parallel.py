@@ -1,0 +1,114 @@
+"""SP: the optimised sample-parallel baseline (Section 5.1, 8.2).
+
+"We implemented an optimized sample-parallel graph sampling system
+based on the NextDoor API ... all the optimizations of NextDoor that
+could be adapted to a sample-parallel system, such as load balancing,
+scheduling, and the fine-grained parallelism discussed in Section 5.1."
+
+Execution strategy: at each step, each (sample, transit) pair gets
+``m_i`` consecutive threads in *sample* order.  Writes coalesce (the
+fine-grained assignment makes consecutive threads write consecutive
+slots of the same sample's row), and thread counts are uniform so load
+balance across blocks is fine.  What sample-parallelism cannot fix:
+
+- consecutive threads read *different* transits' adjacency lists —
+  scattered global loads, no coalescing, nothing cacheable in shared
+  memory;
+- threads in a warp binary-search / scan lists of different lengths —
+  warp divergence proportional to degree skew.
+
+Those two costs are exactly what Figure 8's L2-transaction comparison
+and the SP-vs-NextDoor speedups isolate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.types import StepInfo
+from repro.core.collective import (
+    charge_collective_selection,
+    charge_combined_neighborhood_sp,
+    charge_edge_recording,
+)
+from repro.core.engine import NextDoorEngine
+from repro.gpu.device import Device
+from repro.gpu.warp import WarpStats
+
+__all__ = ["SampleParallelEngine"]
+
+
+class SampleParallelEngine(NextDoorEngine):
+    """Optimised sample-parallel execution of the NextDoor API."""
+
+    engine_name = "SP"
+
+    def _charge_index(self, device: Device, tmap) -> None:
+        """SP needs no transit map: pairs stay in sample order."""
+
+    def _charge_output_materialisation(self, device, app, batch,
+                                       steps_run) -> None:
+        """SP writes samples in sample order throughout: no inversion."""
+
+    def _charge_individual(self, device: Device, tmap, degrees: np.ndarray,
+                           m: int, info: StepInfo,
+                           weighted: bool = False) -> None:
+        spec = device.spec
+        num_pairs = tmap.num_pairs
+        if num_pairs == 0 or m == 0:
+            return
+        # Degrees seen by the threads, in pair order: each pair's
+        # transit may differ from its warp-mates'.
+        pair_degrees = degrees[
+            np.searchsorted(tmap.unique_transits, tmap.transit_vals)]
+        avg_deg = float(pair_degrees.mean()) if pair_degrees.size else 0.0
+        p99 = float(np.percentile(pair_degrees, 99)) \
+            if pair_degrees.size > 1 else avg_deg
+
+        threads = num_pairs * m
+        warps = max(1, int(np.ceil(threads / spec.warp_size)))
+        warp = WarpStats(spec)
+        # Adjacency base lookups (indptr) for up to 32 distinct
+        # transits: scattered.
+        distinct_per_warp = min(spec.warp_size / max(m, 1), spec.warp_size)
+        warp.global_load(distinct_per_warp * 2,
+                         segments=distinct_per_warp * 2)
+        # Each proposal reads a neighbor from a different list: one
+        # transaction per thread per round, nothing shared or reused —
+        # two when biased sampling must also fetch the edge's weight.
+        row_words = 2.0 if weighted else 1.0
+        reads = (spec.warp_size * max(1.0, info.neighbor_reads_per_vertex)
+                 * row_words)
+        warp.global_load(reads, segments=reads)
+        warp.compute(info.avg_compute_cycles)
+        # Degree-skew divergence: the warp waits for the lane with the
+        # longest list (weight-prefix scans, rejection loops).
+        skew = max(0.0, (p99 - avg_deg) / max(avg_deg, 1.0))
+        warp.branch(divergent=True, extra_paths=1,
+                    path_cycles=(info.divergence_fraction
+                                 * info.divergence_cycles
+                                 + skew * 4.0))
+        # Per-draw reads that transit-parallelism would have served from
+        # cache scatter here: every lane probes a different list.
+        scattered_reads = (info.cacheable_reads_per_vertex
+                           + info.extra_global_reads_per_vertex)
+        if scattered_reads > 0:
+            words = scattered_reads * spec.warp_size
+            warp.global_load(words, segments=words)
+        # Fine-grained assignment: consecutive threads write
+        # consecutive slots of the same sample — coalesced.
+        warp.global_store(spec.warp_size)
+        kernel = device.new_kernel("sp_sampling_kernel")
+        kernel.add_group(max(1, int(np.ceil(warps / 8))),
+                         min(8, warps), warp)
+        device.launch(kernel, phase="sampling")
+
+    def _charge_collective(self, device: Device, tmap, degrees: np.ndarray,
+                           m: int, info: StepInfo, num_samples: int,
+                           has_edges: bool) -> None:
+        pair_degrees = degrees[
+            np.searchsorted(tmap.unique_transits, tmap.transit_vals)]
+        charge_combined_neighborhood_sp(device, tmap, pair_degrees)
+        charge_collective_selection(device, num_samples, m, info)
+        if has_edges:
+            charge_edge_recording(device, tmap.num_pairs * max(m, 1))

@@ -1,0 +1,204 @@
+"""Render the paper's figures as SVG from archived benchmark results.
+
+``pytest benchmarks/ --benchmark-only`` archives each experiment's rows
+under ``benchmarks/results/*.json``; this module turns them into
+grouped bar charts (the form Figures 6-10 take in the paper) with a
+small, dependency-free SVG writer.
+
+::
+
+    python -m repro figures            # writes benchmarks/figures/*.svg
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["bar_chart_svg", "render_all", "FIGURE_SPECS"]
+
+#: Flat, print-friendly palette (one colour per series).
+PALETTE = ["#4878a8", "#e49444", "#5ca05c", "#c05558", "#8d6bb8",
+           "#857263", "#d684bd", "#7f7f7f"]
+
+
+def _fmt(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def bar_chart_svg(
+    title: str,
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    ylabel: str = "",
+    log_scale: bool = False,
+    width: int = 720,
+    height: int = 360,
+) -> str:
+    """A grouped bar chart as an SVG string.
+
+    ``groups`` label the x-axis clusters (graphs); ``series`` maps a
+    legend name to one value per group (an application or engine).
+    ``log_scale`` matches the paper's speedup figures.
+    """
+    if not groups or not series:
+        raise ValueError("need at least one group and one series")
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(f"series {name!r} has {len(values)} values "
+                             f"for {len(groups)} groups")
+
+    margin_l, margin_r, margin_t, margin_b = 64, 16, 48, 56
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    all_values = [v for vals in series.values() for v in vals]
+    vmax = max(all_values)
+    vmin = min(all_values)
+    if log_scale:
+        lo = math.floor(math.log10(max(min(vmin, 1.0), 1e-3)))
+        hi = math.ceil(math.log10(max(vmax, 1.0)))
+        hi = max(hi, lo + 1)
+
+        def scale(v: float) -> float:
+            v = max(v, 10.0 ** lo)
+            return (math.log10(v) - lo) / (hi - lo)
+
+        ticks = [10.0 ** e for e in range(lo, hi + 1)]
+    else:
+        top = vmax * 1.1 if vmax > 0 else 1.0
+
+        def scale(v: float) -> float:
+            return max(v, 0.0) / top
+
+        ticks = [top * f for f in (0.0, 0.25, 0.5, 0.75, 1.0)]
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{title}</text>',
+    ]
+
+    # Axes and gridlines.
+    x0, y0 = margin_l, margin_t + plot_h
+    for tick in ticks:
+        y = y0 - scale(tick) * plot_h
+        parts.append(f'<line x1="{x0}" y1="{y:.1f}" x2="{x0 + plot_w}" '
+                     f'y2="{y:.1f}" stroke="#dddddd" stroke-width="1"/>')
+        parts.append(f'<text x="{x0 - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end" font-size="10">'
+                     f'{_fmt(tick)}</text>')
+    parts.append(f'<line x1="{x0}" y1="{margin_t}" x2="{x0}" y2="{y0}" '
+                 f'stroke="#333" stroke-width="1"/>')
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" '
+                 f'y2="{y0}" stroke="#333" stroke-width="1"/>')
+    if ylabel:
+        parts.append(
+            f'<text x="14" y="{margin_t + plot_h / 2:.0f}" font-size="11" '
+            f'text-anchor="middle" transform="rotate(-90 14 '
+            f'{margin_t + plot_h / 2:.0f})">{ylabel}</text>')
+
+    # Bars.
+    num_groups = len(groups)
+    num_series = len(series)
+    group_w = plot_w / num_groups
+    bar_w = group_w * 0.8 / num_series
+    for g_idx, group in enumerate(groups):
+        gx = x0 + g_idx * group_w + group_w * 0.1
+        for s_idx, (name, values) in enumerate(series.items()):
+            v = values[g_idx]
+            bh = scale(v) * plot_h
+            bx = gx + s_idx * bar_w
+            by = y0 - bh
+            color = PALETTE[s_idx % len(PALETTE)]
+            parts.append(
+                f'<rect x="{bx:.1f}" y="{by:.1f}" width="{bar_w:.1f}" '
+                f'height="{bh:.1f}" fill="{color}">'
+                f'<title>{name} / {group}: {_fmt(v)}</title></rect>')
+        parts.append(
+            f'<text x="{gx + group_w * 0.4:.1f}" y="{y0 + 16}" '
+            f'text-anchor="middle" font-size="11">{group}</text>')
+
+    # Legend.
+    lx = x0
+    ly = height - 14
+    for s_idx, name in enumerate(series):
+        color = PALETTE[s_idx % len(PALETTE)]
+        parts.append(f'<rect x="{lx}" y="{ly - 9}" width="10" height="10" '
+                     f'fill="{color}"/>')
+        parts.append(f'<text x="{lx + 14}" y="{ly}" font-size="11">'
+                     f'{name}</text>')
+        lx += 14 + 7 * len(name) + 18
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _load(results_dir: str, name: str) -> Optional[dict]:
+    path = os.path.join(results_dir, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def _nested_series(data: dict, inner_key: Optional[str] = None):
+    """{app: {graph: value-or-dict}} -> (groups, {app: [values]})."""
+    apps = list(data)
+    groups = sorted({g for per in data.values() for g in per})
+    series = {}
+    for app in apps:
+        row = []
+        for g in groups:
+            cell = data[app].get(g, 0.0)
+            if isinstance(cell, dict):
+                cell = cell.get(inner_key, 0.0)
+            row.append(float(cell) if cell is not None else 0.0)
+        series[app] = row
+    return groups, series
+
+
+#: name -> (title, ylabel, log_scale, inner_key or None)
+FIGURE_SPECS = {
+    "fig6_breakdown": ("Figure 6: scheduling-index share of total time",
+                       "fraction of time", False, None),
+    "fig7a_vs_knightking": ("Figure 7a: speedup over KnightKing",
+                            "speedup (x)", True, None),
+    "fig7b_vs_gnn_samplers": ("Figure 7b: speedup over GNN samplers",
+                              "speedup (x)", True, None),
+    "fig7c_vs_sp_tp": ("Figure 7: speedup over SP",
+                       "speedup (x)", False, "SP"),
+    "fig8_l2_transactions": ("Figure 8: L2 reads, NextDoor / SP",
+                             "ratio", False, None),
+    "fig9_vs_graph_frameworks": ("Figure 9: speedup over Gunrock-style",
+                                 "speedup (x)", True, "Gunrock"),
+    "fig10_multi_gpu": ("Figure 10: 4 GPUs vs 1 GPU",
+                        "speedup (x)", False, None),
+}
+
+
+def render_all(results_dir: str, out_dir: str) -> List[str]:
+    """Render every figure whose results JSON exists; returns paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for name, (title, ylabel, log_scale, inner) in FIGURE_SPECS.items():
+        data = _load(results_dir, name)
+        if data is None:
+            continue
+        groups, series = _nested_series(data, inner)
+        svg = bar_chart_svg(title, groups, series, ylabel=ylabel,
+                            log_scale=log_scale)
+        path = os.path.join(out_dir, f"{name}.svg")
+        with open(path, "w") as f:
+            f.write(svg)
+        written.append(path)
+    return written

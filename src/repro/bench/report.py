@@ -1,0 +1,50 @@
+"""Plain-text table formatting and result archival for benchmarks."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "print_experiment", "save_results"]
+
+#: Where benchmark tables are archived (JSON, one file per experiment).
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..",
+                           "benchmarks", "results")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 precision: int = 2) -> str:
+    """Fixed-width ASCII table (the style the paper's tables use)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h) for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_experiment(title: str, table: str,
+                     notes: Optional[Sequence[str]] = None) -> None:
+    """Print one experiment's output block."""
+    bar = "=" * max(len(title), 40)
+    print(f"\n{bar}\n{title}\n{bar}")
+    print(table)
+    for note in notes or ():
+        print(f"  note: {note}")
+
+
+def save_results(name: str, data: Dict) -> str:
+    """Archive an experiment's rows as JSON; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True, default=str)
+    return path

@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+::
+
+    python -m repro datasets
+    python -m repro sample --app DeepWalk --graph livej --samples 4096 \
+        --seed 7 --out walks.npz
+    python -m repro compare --apps DeepWalk k-hop --graph orkut
+    python -m repro bench --list
+    python -m repro train --graph ppi --epochs 3
+
+Every subcommand is a thin wrapper over the library; anything the CLI
+prints can be computed programmatically from :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    FrontierEngine,
+    KnightKingEngine,
+    MessagePassingEngine,
+    ReferenceSamplerEngine,
+    SampleParallelEngine,
+    VanillaTPEngine,
+)
+from repro.bench import format_table
+from repro.bench.runner import (
+    APP_FACTORIES,
+    GRAPHS_IN_MEMORY,
+    paper_app,
+    paper_graph,
+    walk_sample_count,
+)
+from repro.core.engine import NextDoorEngine
+from repro.graph import datasets
+
+__all__ = ["main", "build_parser"]
+
+ENGINES = {
+    "nextdoor": NextDoorEngine,
+    "sp": SampleParallelEngine,
+    "tp": VanillaTPEngine,
+    "knightking": KnightKingEngine,
+    "reference": ReferenceSamplerEngine,
+    "gunrock": FrontierEngine,
+    "tigr": MessagePassingEngine,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NextDoor reproduction: transit-parallel graph "
+                    "sampling (EuroSys '21)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list the Table-3 dataset stand-ins")
+
+    p = sub.add_parser("sample", help="run one sampling application")
+    p.add_argument("--app", required=True, choices=sorted(APP_FACTORIES))
+    p.add_argument("--graph", default="ppi",
+                   choices=sorted(datasets.SPECS))
+    p.add_argument("--engine", default="nextdoor",
+                   choices=sorted(ENGINES))
+    p.add_argument("--samples", type=int, default=None,
+                   help="number of samples (default: paper-style count)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--devices", type=int, default=1,
+                   help="modeled GPUs (NextDoor-family engines only)")
+    p.add_argument("--out", default=None,
+                   help="save samples to this .npz file")
+
+    p = sub.add_parser("compare",
+                       help="modeled speedups of NextDoor over baselines")
+    p.add_argument("--apps", nargs="+", default=["DeepWalk", "k-hop"],
+                   choices=sorted(APP_FACTORIES))
+    p.add_argument("--graph", default="livej",
+                   choices=sorted(datasets.SPECS))
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("bench", help="list the paper-experiment benchmarks")
+    p.add_argument("--list", action="store_true", default=True)
+
+    p = sub.add_parser("report",
+                       help="paper-vs-measured summary from archived "
+                            "results")
+    p.add_argument("--results", default=None)
+
+    p = sub.add_parser("figures",
+                       help="render archived benchmark results as SVG")
+    p.add_argument("--results", default=None,
+                   help="results dir (default: benchmarks/results)")
+    p.add_argument("--out", default=None,
+                   help="output dir (default: benchmarks/figures)")
+
+    p = sub.add_parser("train", help="train the demo GNN on sampled batches")
+    p.add_argument("--graph", default="ppi", choices=sorted(datasets.SPECS))
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--batch-size", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_datasets(args, out) -> int:
+    rows = []
+    for name in datasets.names():
+        paper = datasets.paper_row(name)
+        spec = datasets.SPECS[name]
+        rows.append([name, paper["abrv"], paper["nodes"], paper["edges"],
+                     paper["avg_degree"], spec.nodes,
+                     "no" if not spec.fits_in_gpu else "yes"])
+    print(format_table(
+        ["key", "abrv", "paper nodes", "paper edges", "avg deg",
+         "stand-in nodes", "fits 16GB"], rows), file=out)
+    return 0
+
+
+def _cmd_sample(args, out) -> int:
+    app = paper_app(args.app)
+    graph = paper_graph(args.graph, args.app, seed=args.seed)
+    num_samples = args.samples
+    if num_samples is None:
+        num_samples = walk_sample_count(graph, args.app)
+    engine = ENGINES[args.engine]()
+    kwargs = {"num_samples": num_samples, "seed": args.seed}
+    if args.devices != 1:
+        if not isinstance(engine, NextDoorEngine):
+            print("error: --devices requires a GPU engine", file=out)
+            return 2
+        kwargs["num_devices"] = args.devices
+    try:
+        result = engine.run(app, graph, **kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(f"app={args.app} graph={graph.name} engine={result.engine} "
+          f"samples={num_samples}", file=out)
+    print(f"modeled time : {result.seconds:.6f} s "
+          f"({result.samples_per_second:,.0f} samples/s)", file=out)
+    for phase, secs in sorted(result.breakdown.items()):
+        print(f"  {phase:18s} {secs:.6f} s", file=out)
+    if args.out:
+        result.save(args.out)
+        print(f"saved samples to {args.out}", file=out)
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    rows = []
+    for app_name in args.apps:
+        graph = paper_graph(args.graph, app_name, seed=args.seed)
+        ns = walk_sample_count(graph, app_name)
+        nd = NextDoorEngine().run(paper_app(app_name), graph,
+                                  num_samples=ns, seed=args.seed)
+        row = [app_name, f"{nd.seconds * 1e3:.3f} ms"]
+        for key in ("sp", "tp", "knightking", "reference", "gunrock",
+                    "tigr"):
+            try:
+                r = ENGINES[key]().run(paper_app(app_name), graph,
+                                       num_samples=ns, seed=args.seed)
+                row.append(f"{r.seconds / nd.seconds:.1f}x")
+            except ValueError:
+                row.append("n/a")
+        rows.append(row)
+    print(format_table(
+        ["app", "NextDoor", "SP", "TP", "KnightKing", "GNN-sampler",
+         "Gunrock", "Tigr"], rows), file=out)
+    print("(columns right of NextDoor: how much slower than NextDoor)",
+          file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    import glob
+    import os
+    bench_dir = os.path.join(os.path.dirname(__file__), "..", "..",
+                             "benchmarks")
+    names = sorted(os.path.basename(p)
+                   for p in glob.glob(os.path.join(bench_dir, "bench_*.py")))
+    if not names:
+        print("benchmarks/ not found next to the package; run from the "
+              "repository root with: pytest benchmarks/ --benchmark-only",
+              file=out)
+        return 0
+    print("paper-experiment benchmarks (run with "
+          "`pytest benchmarks/ --benchmark-only -s`):", file=out)
+    for name in names:
+        print(f"  {name}", file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    import glob
+    import json
+    import os
+    from repro.bench.paper_values import compare_results
+    from repro.bench.report import RESULTS_DIR
+    results_dir = args.results or os.path.normpath(RESULTS_DIR)
+    results = {}
+    for path in glob.glob(os.path.join(results_dir, "*.json")):
+        name = os.path.splitext(os.path.basename(path))[0]
+        with open(path) as f:
+            results[name] = json.load(f)
+    if not results:
+        print(f"no results under {results_dir}; run "
+              "`pytest benchmarks/ --benchmark-only` first", file=out)
+        return 1
+    report = compare_results(results)
+    rows = [[name, cell["paper"], cell["measured"], cell["grade"]]
+            for name, cell in sorted(report.items())]
+    print(format_table(["experiment", "paper", "measured", "grade"],
+                       rows), file=out)
+    return 0
+
+
+def _cmd_figures(args, out) -> int:
+    import os
+    from repro.bench.figures import render_all
+    from repro.bench.report import RESULTS_DIR
+    results = args.results or os.path.normpath(RESULTS_DIR)
+    out_dir = args.out or os.path.join(os.path.dirname(results), "figures")
+    written = render_all(results, out_dir)
+    if not written:
+        print(f"no results found under {results}; run "
+              "`pytest benchmarks/ --benchmark-only` first", file=out)
+        return 1
+    for path in written:
+        print(f"wrote {path}", file=out)
+    return 0
+
+
+def _cmd_train(args, out) -> int:
+    from repro.train import TrainConfig, Trainer
+    graph = datasets.load(args.graph, seed=args.seed)
+    config = TrainConfig(batch_size=args.batch_size, epochs=args.epochs,
+                         seed=args.seed, fanouts=(10, 5),
+                         feature_dim=16, hidden_dim=32, num_classes=4)
+    trainer = Trainer(graph, config)
+    for epoch in range(args.epochs):
+        stats = trainer.run_epoch(epoch)
+        print(f"epoch {epoch}: loss={stats.loss:.3f} "
+              f"accuracy={stats.accuracy:.1%}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "datasets": _cmd_datasets,
+        "sample": _cmd_sample,
+        "compare": _cmd_compare,
+        "bench": _cmd_bench,
+        "figures": _cmd_figures,
+        "report": _cmd_report,
+        "train": _cmd_train,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

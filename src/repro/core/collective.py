@@ -1,0 +1,142 @@
+"""Collective transit sampling support (Section 6.2).
+
+NextDoor builds each sample's *combined neighborhood* transit-parallel
+— "as if it were an individual transit sampling application that runs
+for only one step", where instead of sampling, each transit's whole
+adjacency list is copied into the sample's combined neighborhood.  New
+vertices are then selected from the combined neighborhood
+sample-parallel (detecting equal neighborhoods is not worth it).
+
+This module charges both halves; the functional construction lives in
+:func:`repro.api.apps._kernels.build_combined_neighborhood`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.types import StepInfo
+from repro.core.scheduling import (
+    BLOCK_LIMIT,
+    SUBWARP_LIMIT,
+    KernelPlanConfig,
+    classify_transits,
+)
+from repro.core.transit_map import TransitMap
+from repro.gpu.device import Device
+from repro.gpu.warp import WarpStats, coalesced_segments
+
+__all__ = [
+    "charge_combined_neighborhood_tp",
+    "charge_combined_neighborhood_sp",
+    "charge_collective_selection",
+    "charge_edge_recording",
+]
+
+
+def charge_combined_neighborhood_tp(device: Device, tmap: TransitMap,
+                                    degrees: np.ndarray,
+                                    phase: str = "sampling") -> None:
+    """Transit-parallel combined-neighborhood construction: a streaming
+    copy of each transit's adjacency into every associated sample's
+    neighborhood, load-balanced with the Table 2 classes (the copy's
+    "neighbors to sample" is the transit's full degree)."""
+    spec = device.spec
+    counts = tmap.counts
+    if counts.size == 0:
+        return
+    words = counts * np.maximum(degrees, 1)
+    classes = classify_transits(counts, int(max(1, degrees.mean())))
+    kernel = device.new_kernel("combined_neighborhood_tp")
+    for cls, limit_warps in (("subwarp", 8), ("block", 8), ("grid", 32)):
+        idx = classes[cls]
+        if not idx.size:
+            continue
+        cls_words = float(words[idx].sum())
+        warps = max(1, int(np.ceil(cls_words / spec.warp_size)))
+        # Each transit's adjacency is read from global memory *once*
+        # (into shared memory) and broadcast to all its samples' copies
+        # — the transit-parallel advantage.  Writes stream coalesced.
+        read_tx = float(np.ceil(np.maximum(degrees[idx], 1) / 4.0).sum())
+        warp = WarpStats(spec)
+        warp.global_load(read_tx * 4 / warps, segments=read_tx / warps)
+        warp.shared_load(spec.warp_size / 4)
+        warp.global_store(spec.warp_size)
+        warp.compute(4.0)
+        wpb = min(limit_warps, warps)
+        kernel.add_group(max(1, int(np.ceil(warps / wpb))), wpb, warp)
+    device.launch(kernel, phase=phase)
+
+
+def charge_combined_neighborhood_sp(device: Device, tmap: TransitMap,
+                                    degrees_per_pair: np.ndarray,
+                                    phase: str = "sampling") -> None:
+    """Sample-parallel construction (the SP baseline): consecutive
+    threads copy *different* transits' adjacencies, so reads scatter
+    across lists and warps serialize on the longest list they touch."""
+    spec = device.spec
+    if degrees_per_pair.size == 0:
+        return
+    total_words = float(degrees_per_pair.sum())
+    if total_words == 0:
+        return
+    warps = max(1, int(np.ceil(degrees_per_pair.size / spec.warp_size)))
+    avg = float(degrees_per_pair.mean())
+    peak = float(np.percentile(degrees_per_pair, 99)) if degrees_per_pair.size > 1 else avg
+    warp = WarpStats(spec)
+    # Each of the 32 threads streams its own list: one transaction per
+    # element per thread (uncoalesced across lanes), for avg elements,
+    # while the warp as a whole waits for the slowest lane (peak).
+    warp.global_load(avg * spec.warp_size, segments=avg * spec.warp_size)
+    warp.global_store(avg * spec.warp_size,
+                      segments=avg * spec.warp_size / 4)
+    warp.compute(4.0 * avg)
+    warp.branch(divergent=True, extra_paths=1,
+                path_cycles=max(0.0, (peak - avg)) * 4.0)
+    kernel = device.new_kernel("combined_neighborhood_sp")
+    kernel.add_group(max(1, int(np.ceil(warps / 8))), min(8, warps), warp)
+    device.launch(kernel, phase=phase)
+
+
+def charge_collective_selection(device: Device, num_samples: int, m: int,
+                                info: StepInfo,
+                                phase: str = "sampling") -> None:
+    """Sample-parallel selection of ``m`` new vertices per sample from
+    its combined neighborhood (both NextDoor and SP do this half the
+    same way, Section 6.2)."""
+    spec = device.spec
+    if num_samples == 0 or m == 0:
+        return  # record-only steps (ClusterGCN) select nothing
+    total_vertices = num_samples * m
+    warps = max(1, int(np.ceil(total_vertices / spec.warp_size)))
+    warp = WarpStats(spec)
+    # Random picks inside each sample's (global-memory) neighborhood:
+    # one scattered transaction per produced vertex.
+    warp.global_load(spec.warp_size, segments=spec.warp_size)
+    warp.compute(info.avg_compute_cycles)
+    if info.divergence_fraction > 0:
+        warp.branch(divergent=True, extra_paths=1,
+                    path_cycles=info.divergence_cycles
+                    * info.divergence_fraction)
+    warp.global_store(spec.warp_size)
+    kernel = device.new_kernel("collective_selection")
+    kernel.add_group(max(1, int(np.ceil(warps / 8))), min(8, warps), warp)
+    device.launch(kernel, phase=phase)
+
+
+def charge_edge_recording(device: Device, num_candidate_pairs: int,
+                          phase: str = "sampling") -> None:
+    """Membership probes + writes for adjacency-recording applications
+    (FastGCN/LADIES layer matrices, ClusterGCN induced adjacency)."""
+    spec = device.spec
+    if num_candidate_pairs <= 0:
+        return
+    warps = max(1, int(np.ceil(num_candidate_pairs / spec.warp_size)))
+    warp = WarpStats(spec)
+    # Binary-search probe per candidate pair: scattered global reads.
+    warp.global_load(spec.warp_size, segments=spec.warp_size)
+    warp.compute(12.0)
+    warp.global_store(coalesced_segments(spec.warp_size) * 4 / 8)
+    kernel = device.new_kernel("edge_recording")
+    kernel.add_group(max(1, int(np.ceil(warps / 8))), min(8, warps), warp)
+    device.launch(kernel, phase=phase)

@@ -1,0 +1,378 @@
+"""The NextDoor engine: transit-parallel sampling with load balancing.
+
+Per step (Section 6):
+
+1. ``stepTransits`` produces each sample's transit vertices.
+2. The **scheduling index** is built: pairs grouped by transit with a
+   (modeled) parallel radix sort + scan (:mod:`repro.core.transit_map`).
+3. Individual sampling runs transit-parallel through the three
+   load-balanced kernel classes of Table 2
+   (:mod:`repro.core.scheduling`); collective sampling builds combined
+   neighborhoods transit-parallel and selects sample-parallel
+   (:mod:`repro.core.collective`).
+4. Unique-neighbor dedup when the application asks for it
+   (:mod:`repro.core.unique`).
+
+Multi-GPU execution (Section 6.4) distributes samples equally across
+devices and runs each independently.  :func:`do_sampling` /
+:meth:`SamplingResult.get_final_samples` mirror the Python module API
+of Section 6.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.api.app import SamplingApp
+from repro.api.apps._kernels import uniform_neighbors
+from repro.api.sample import SampleBatch
+from repro.api.types import NULL_VERTEX, OutputFormat, SamplingType, StepInfo
+from repro.core import stepper
+from repro.core.collective import (
+    charge_collective_selection,
+    charge_combined_neighborhood_tp,
+    charge_edge_recording,
+)
+from repro.core.scheduling import KernelPlanConfig, charge_sampling_kernels
+from repro.core.transit_map import (
+    build_transit_map,
+    charge_index_build,
+    charge_map_readback,
+)
+from repro.core.unique import charge_dedup, dedupe_rows
+from repro.gpu.device import Device
+from repro.gpu.metrics import DeviceMetrics
+from repro.gpu.multi_gpu import MultiGPU
+from repro.gpu.spec import GPUSpec, V100
+
+__all__ = ["NextDoorEngine", "SamplingResult", "do_sampling"]
+
+
+@dataclass
+class SamplingResult:
+    """Samples plus the modeled execution record of one run."""
+
+    app: SamplingApp
+    graph_name: str
+    batch: SampleBatch
+    seconds: float
+    breakdown: Dict[str, float]
+    metrics: Optional[DeviceMetrics]
+    steps_run: int
+    engine: str
+    devices_used: int = 1
+    extra: Dict[str, float] = field(default_factory=dict)
+    #: Per-phase metrics (sampling vs scheduling_index); None for CPU
+    #: engines.
+    metrics_by_phase: Optional[Dict[str, DeviceMetrics]] = None
+
+    @property
+    def samples(self) -> SampleBatch:
+        return self.batch
+
+    def get_final_samples(self) -> Union[np.ndarray, List[np.ndarray]]:
+        """The paper's ``getFinalSamples``: a numpy array (format 1) or
+        per-step arrays (format 2), per the application's declaration."""
+        if self.app.output_format is OutputFormat.PER_STEP:
+            return self.batch.per_step_arrays()
+        return self.batch.as_array()
+
+    def save(self, path: str) -> None:
+        """Persist roots + samples as a compressed ``.npz``.
+
+        Walk-style output lands under ``samples``; per-step output
+        under ``hop0``, ``hop1``, ...; recorded adjacency (importance /
+        cluster sampling) under ``edges`` as (sample, u, v) rows.
+        """
+        samples = self.get_final_samples()
+        arrays = ({"samples": samples} if isinstance(samples, np.ndarray)
+                  else {f"hop{i}": a for i, a in enumerate(samples)})
+        if self.batch.edges:
+            arrays["edges"] = np.concatenate(self.batch.edges, axis=0)
+        np.savez_compressed(path, roots=self.batch.roots, **arrays)
+
+    @property
+    def sampling_seconds(self) -> float:
+        return self.breakdown.get("sampling", 0.0)
+
+    @property
+    def scheduling_index_seconds(self) -> float:
+        return self.breakdown.get("scheduling_index", 0.0)
+
+    @property
+    def transfer_seconds(self) -> float:
+        return self.breakdown.get("transfer", 0.0)
+
+    @property
+    def samples_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.batch.num_samples / self.seconds
+
+    def speedup_over(self, other: "SamplingResult") -> float:
+        """``other.seconds / self.seconds`` — how much faster this run
+        is than ``other``."""
+        if self.seconds <= 0:
+            return float("inf")
+        return other.seconds / self.seconds
+
+
+class NextDoorEngine:
+    """Transit-parallel GPU sampling engine (the paper's system)."""
+
+    engine_name = "NextDoor"
+
+    def __init__(self, spec: GPUSpec = V100,
+                 config: KernelPlanConfig = KernelPlanConfig(),
+                 use_reference: bool = False) -> None:
+        self.spec = spec
+        self.config = config
+        self.use_reference = use_reference
+
+    # ------------------------------------------------------------------
+
+    def run(self, app: SamplingApp, graph,
+            num_samples: Optional[int] = None,
+            roots: Optional[np.ndarray] = None,
+            seed: int = 0,
+            num_devices: int = 1) -> SamplingResult:
+        """Run ``app`` over ``graph`` and return samples + model costs.
+
+        ``num_devices > 1`` reproduces Section 6.4: samples are split
+        equally, each shard runs on its own modeled GPU, and wall time
+        is the slowest device plus host coordination.
+        """
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        rng = np.random.default_rng(seed)
+        batch = stepper.init_batch(app, graph, num_samples, roots, rng)
+        if num_devices == 1:
+            device = Device(self.spec)
+            steps_run = self._run_on_device(app, graph, batch, rng, device)
+            return SamplingResult(
+                app=app, graph_name=graph.name, batch=batch,
+                seconds=device.elapsed_seconds,
+                breakdown=device.timeline.phase_breakdown(),
+                metrics=device.metrics, steps_run=steps_run,
+                engine=self.engine_name,
+                metrics_by_phase=device.metrics_by_phase)
+        return self._run_multi_gpu(app, graph, batch, rng, num_devices)
+
+    # ------------------------------------------------------------------
+
+    def _run_multi_gpu(self, app: SamplingApp, graph, batch: SampleBatch,
+                       rng: np.random.Generator,
+                       num_devices: int) -> SamplingResult:
+        pool = MultiGPU(num_devices, self.spec)
+        bounds = np.linspace(0, batch.num_samples, num_devices + 1,
+                             dtype=np.int64)
+        shards: List[SampleBatch] = []
+        total_steps = 0
+        for d, device in enumerate(pool.devices):
+            shard_roots = batch.roots[bounds[d]:bounds[d + 1]]
+            if shard_roots.shape[0] == 0:
+                continue
+            shard = SampleBatch(graph, shard_roots)
+            app.init_state(shard, rng)
+            steps_run = self._run_on_device(app, graph, shard, rng, device)
+            total_steps = max(total_steps, steps_run)
+            shards.append(shard)
+        pool.record_run()
+        merged = _merge_batches(graph, shards)
+        breakdown: Dict[str, float] = {}
+        for device in pool.devices:
+            for phase, secs in device.timeline.phase_breakdown().items():
+                breakdown[phase] = max(breakdown.get(phase, 0.0), secs)
+        breakdown["coordination"] = pool.coordination_seconds
+        by_phase: Dict[str, DeviceMetrics] = {}
+        for device in pool.devices:
+            for phase, metrics in device.metrics_by_phase.items():
+                by_phase.setdefault(phase, DeviceMetrics()).merge(metrics)
+        return SamplingResult(
+            app=app, graph_name=graph.name, batch=merged,
+            seconds=pool.elapsed_seconds, breakdown=breakdown,
+            metrics=pool.merged_metrics(), steps_run=total_steps,
+            engine=self.engine_name, devices_used=num_devices,
+            metrics_by_phase=by_phase)
+
+    # ------------------------------------------------------------------
+
+    def _run_on_device(self, app: SamplingApp, graph, batch: SampleBatch,
+                       rng: np.random.Generator, device: Device) -> int:
+        """The per-device step loop; returns steps executed."""
+        limit = stepper.step_limit(app)
+        collective = app.sampling_type() is SamplingType.COLLECTIVE
+        step = 0
+        while step < limit:
+            transits = app.transits_for_step(batch, step)
+            tmap = build_transit_map(transits)
+            if tmap.num_pairs == 0:
+                break  # no live transits: every sample has terminated
+            self._pre_step(device, graph, tmap, step)
+            self._charge_index(device, tmap)
+            degrees = (graph.indptr[tmap.unique_transits + 1]
+                       - graph.indptr[tmap.unique_transits])
+            m = app.sample_size(step)
+
+            if collective:
+                new_vertices, info, edges, _sizes = stepper.run_collective_step(
+                    app, graph, batch, transits, step, rng,
+                    use_reference=self.use_reference)
+                self._charge_collective(device, tmap, degrees, m, info,
+                                        batch.num_samples,
+                                        has_edges=edges is not None)
+                if edges is not None:
+                    batch.record_edges(edges)
+            else:
+                new_vertices, info = stepper.run_individual_step(
+                    app, graph, batch, transits, step, rng,
+                    tmap.sample_ids, tmap.cols, tmap.transit_vals,
+                    use_reference=self.use_reference)
+                self._charge_individual(device, tmap, degrees, m, info,
+                                        weighted=graph.is_weighted)
+                if app.unique(step) and new_vertices.shape[1] > 1:
+                    new_vertices = self._make_unique(
+                        app, graph, batch, transits, new_vertices, step,
+                        rng, device)
+
+            batch.append_step(new_vertices)
+            app.post_step(batch, new_vertices, step, rng)
+            step += 1
+            if m > 0 and not (new_vertices != NULL_VERTEX).any():
+                break  # nothing was added anywhere: all samples ended
+        self._charge_output_materialisation(device, app, batch, step)
+        return step
+
+    # ------------------------------------------------------------------
+    # Cost-charging hooks — baseline engines override these to price
+    # the same functional work under their own execution strategies.
+    # ------------------------------------------------------------------
+
+    def _pre_step(self, device: Device, graph, tmap, step: int) -> None:
+        """Hook before a step's kernels (the large-graph mode charges
+        its partition transfers here).  Default: nothing."""
+
+    def _charge_output_materialisation(self, device: Device, app,
+                                       batch: SampleBatch,
+                                       steps_run: int) -> None:
+        """Final output pass: random walks (one vertex per sub-warp
+        lane) write in scheduling-index order and need one permutation
+        back to per-sample layout.  Wider sample sizes write >= 4
+        consecutive words per sample — already coalesced in sample
+        order — so no inversion is needed.  SP writes in sample order
+        throughout and overrides this with a no-op."""
+        if all(app.sample_size(i) <= 2 for i in range(steps_run)):
+            total_vertices = sum(int(arr.size)
+                                 for arr in batch.step_vertices)
+            charge_map_readback(device, total_vertices)
+
+    def _charge_index(self, device: Device, tmap) -> None:
+        """Scheduling-index build (Section 6.1.2): terminated samples
+        are compacted away by the partition scan, so the sort runs over
+        the live pairs."""
+        charge_index_build(device, tmap.num_pairs)
+
+    def _charge_individual(self, device: Device, tmap, degrees: np.ndarray,
+                           m: int, info: StepInfo,
+                           weighted: bool = False) -> None:
+        """Transit-parallel, load-balanced sampling kernels (Table 2)."""
+        charge_sampling_kernels(device, tmap, degrees, m, info, self.config,
+                                weighted=weighted)
+
+    def _charge_collective(self, device: Device, tmap, degrees: np.ndarray,
+                           m: int, info: StepInfo, num_samples: int,
+                           has_edges: bool) -> None:
+        """Transit-parallel combined-neighborhood construction +
+        sample-parallel selection (Section 6.2)."""
+        charge_combined_neighborhood_tp(device, tmap, degrees)
+        charge_collective_selection(device, num_samples, m, info)
+        if has_edges:
+            charge_edge_recording(device, tmap.num_pairs * max(m, 1))
+
+    # ------------------------------------------------------------------
+
+    def _make_unique(self, app: SamplingApp, graph, batch: SampleBatch,
+                     transits: np.ndarray, new_vertices: np.ndarray,
+                     step: int, rng: np.random.Generator,
+                     device: Device) -> np.ndarray:
+        """Section 6.3: dedup, then one sample-parallel top-up pass."""
+        deduped, num_dups = dedupe_rows(new_vertices)
+        charge_dedup(device, batch.num_samples, new_vertices.shape[1])
+        if num_dups == 0:
+            return deduped
+        m = max(app.sample_size(step), 1)
+        rows_with_holes = np.nonzero(
+            (deduped == NULL_VERTEX).any(axis=1)
+            & (new_vertices != NULL_VERTEX).any(axis=1))[0]
+        for s in rows_with_holes:
+            row = deduped[s]
+            holes = np.nonzero((row == NULL_VERTEX)
+                               & (new_vertices[s] != NULL_VERTEX))[0]
+            if holes.size == 0:
+                continue
+            hole_transits = transits[s][holes // m]
+            draws = uniform_neighbors(graph, hole_transits, 1, rng)[:, 0]
+            present = set(int(v) for v in row[row != NULL_VERTEX])
+            for hole, draw in zip(holes, draws):
+                if draw != NULL_VERTEX and int(draw) not in present:
+                    row[hole] = draw
+                    present.add(int(draw))
+        # The top-up is sample-parallel (one warp-pass over the holes).
+        charge_collective_selection(
+            device, int(rows_with_holes.size), 1,
+            info=_TOPUP_INFO)
+        return deduped
+
+
+_TOPUP_INFO = StepInfo(avg_compute_cycles=10.0)
+
+
+def _merge_batches(graph, shards: List[SampleBatch]) -> SampleBatch:
+    """Concatenate per-device batches, padding step widths (INF apps
+    may have run different step counts per shard)."""
+    if not shards:
+        raise ValueError("no shards to merge")
+    if len(shards) == 1:
+        return shards[0]
+    merged = SampleBatch(graph, np.concatenate([b.roots for b in shards]))
+    num_steps = max(b.num_steps for b in shards)
+    for i in range(num_steps):
+        widths = [b.step_vertices[i].shape[1]
+                  for b in shards if b.num_steps > i]
+        width = max(widths)
+        parts = []
+        for b in shards:
+            if b.num_steps > i:
+                arr = b.step_vertices[i]
+                if arr.shape[1] < width:
+                    pad = np.full((arr.shape[0], width - arr.shape[1]),
+                                  NULL_VERTEX, dtype=np.int64)
+                    arr = np.concatenate([arr, pad], axis=1)
+            else:
+                arr = np.full((b.num_samples, width), NULL_VERTEX,
+                              dtype=np.int64)
+            parts.append(arr)
+        merged.append_step(np.concatenate(parts, axis=0))
+    # Recorded edges: shift sample ids into the merged numbering.
+    offset = 0
+    for b in shards:
+        for edges in b.edges:
+            if edges.size:
+                shifted = edges.copy()
+                shifted[:, 0] += offset
+                merged.record_edges(shifted)
+        offset += b.num_samples
+    return merged
+
+
+def do_sampling(app: SamplingApp, graph, num_samples: int, seed: int = 0,
+                **kwargs) -> SamplingResult:
+    """One-call convenience mirroring the paper's ``doSampling``."""
+    return NextDoorEngine(**{k: v for k, v in kwargs.items()
+                             if k in ("spec", "config", "use_reference")}
+                          ).run(app, graph, num_samples=num_samples,
+                                seed=seed,
+                                num_devices=kwargs.get("num_devices", 1))

@@ -1,0 +1,149 @@
+"""Shared functional stepping logic.
+
+Every engine in this reproduction — NextDoor, SP, TP, the
+graph-framework baselines — must produce *statistically identical*
+samples; they differ only in how the work is organised on the device,
+which is what the performance model prices.  This module holds the
+functional half they share: initialising batches, flattening transits,
+running one step's sampling, and scattering results back into the
+batch's rectangular step arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.api.app import SamplingApp
+from repro.api.apps._kernels import build_combined_neighborhood
+from repro.api.sample import SampleBatch
+from repro.api.types import INF_STEPS, NULL_VERTEX, StepInfo
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "init_batch",
+    "step_limit",
+    "prev_transits_for",
+    "run_individual_step",
+    "run_collective_step",
+]
+
+
+def init_batch(app: SamplingApp, graph: CSRGraph,
+               num_samples: Optional[int],
+               roots: Optional[np.ndarray],
+               rng: np.random.Generator) -> SampleBatch:
+    """Create the initial batch from explicit roots or the app's
+    automatic root selection."""
+    if roots is None:
+        if num_samples is None:
+            raise ValueError("provide either num_samples or roots")
+        roots = app.initial_roots(graph, num_samples, rng)
+    batch = SampleBatch(graph, np.asarray(roots, dtype=np.int64))
+    app.init_state(batch, rng)
+    return batch
+
+
+def step_limit(app: SamplingApp) -> int:
+    """Number of steps to run: ``steps()`` or the INF cap."""
+    k = app.steps()
+    return app.max_steps_cap() if k == INF_STEPS else k
+
+
+def prev_transits_for(batch: SampleBatch, step: int,
+                      sample_ids: np.ndarray,
+                      cols: np.ndarray) -> Optional[np.ndarray]:
+    """Previous-step transit for each pair (node2vec's ``t``).
+
+    Defined for walk-shaped applications (one transit per sample); for
+    wider applications the previous transit of the pair at column ``c``
+    is the vertex that produced it, i.e. column ``c // m_prev`` of the
+    step before — walks only need the ``c = 0`` case, which is what the
+    paper's node2vec uses.
+    """
+    if step == 0:
+        return None
+    if step == 1:
+        source = batch.roots
+    else:
+        source = batch.step_vertices[step - 2]
+    col = np.minimum(cols, source.shape[1] - 1)
+    return source[sample_ids, col]
+
+
+def run_individual_step(
+    app: SamplingApp,
+    graph: CSRGraph,
+    batch: SampleBatch,
+    transits: np.ndarray,
+    step: int,
+    rng: np.random.Generator,
+    sample_ids: np.ndarray,
+    cols: np.ndarray,
+    transit_vals: np.ndarray,
+    use_reference: bool = False,
+) -> Tuple[np.ndarray, StepInfo]:
+    """Sample one individual-transit step over pre-flattened pairs.
+
+    The pair arrays may be in any order (NextDoor passes them
+    transit-sorted; SP passes them sample-ordered); results scatter
+    back by (sample, col) either way.  Returns the ``(S, T * m)`` new
+    vertex array and the step's cost hints.
+    """
+    m = app.sample_size(step)
+    width = transits.shape[1] * m
+    out = np.full((batch.num_samples, max(width, 0)), NULL_VERTEX,
+                  dtype=np.int64)
+    prev = None
+    if app.needs_prev_transits:
+        prev = prev_transits_for(batch, step, sample_ids, cols)
+    sampler = (SamplingApp.sample_neighbors.__get__(app)
+               if use_reference else app.sample_neighbors)
+    sampled, info = sampler(graph, transit_vals, step, rng,
+                            prev_transits=prev, batch=batch,
+                            sample_ids=sample_ids)
+    if m > 0 and sample_ids.size:
+        slots = cols[:, None] * m + np.arange(m)[None, :]
+        out[sample_ids[:, None], slots] = sampled
+    return out, info
+
+
+def run_collective_step(
+    app: SamplingApp,
+    graph: CSRGraph,
+    batch: SampleBatch,
+    transits: np.ndarray,
+    step: int,
+    rng: np.random.Generator,
+    use_reference: bool = False,
+) -> Tuple[np.ndarray, StepInfo, Optional[np.ndarray], np.ndarray]:
+    """Sample one collective-transit step.
+
+    Returns ``(new_vertices, info, recorded_edges, neighborhood_sizes)``
+    where ``neighborhood_sizes[s]`` is the combined-neighborhood size of
+    sample ``s`` (the quantity the construction kernels are priced on).
+
+    When the application declares ``needs_combined_values = False``
+    (and the reference path is not forced), only the neighborhood
+    *offsets* are computed — hub-heavy transit sets would otherwise
+    materialise multi-gigabyte arrays.
+    """
+    if app.needs_combined_values or use_reference:
+        values, offsets = build_combined_neighborhood(graph, transits)
+    else:
+        t = np.asarray(transits, dtype=np.int64)
+        flat = t.ravel()
+        live = flat != NULL_VERTEX
+        deg = np.zeros(flat.size, dtype=np.int64)
+        deg[live] = graph.indptr[flat[live] + 1] - graph.indptr[flat[live]]
+        per_sample = deg.reshape(t.shape[0], -1).sum(axis=1)
+        offsets = np.zeros(t.shape[0] + 1, dtype=np.int64)
+        np.cumsum(per_sample, out=offsets[1:])
+        values = None
+    chooser = (SamplingApp.sample_from_neighborhood.__get__(app)
+               if use_reference else app.sample_from_neighborhood)
+    new_vertices, info = chooser(graph, batch, values, offsets, transits,
+                                 step, rng)
+    edges = app.record_step_edges(graph, batch, transits, new_vertices, step)
+    return new_vertices, info, edges, np.diff(offsets)

@@ -1,0 +1,137 @@
+"""Transit→samples map and scheduling index (Section 6.1.2).
+
+"Creating a scheduling index involves three stages.  First, NextDoor
+creates a transit-to-sample map ...  Then, NextDoor partitions all
+transit vertices into three sets based on the number of samples
+associated with each transit vertex using parallel scan operations.
+Finally, the scheduling index of a transit vertex is set to the index
+of the transit vertex in its set."
+
+Functionally this module groups the step's flattened (sample, transit)
+pairs by transit with a sort; for the performance model it charges the
+cost of the parallel radix sort + scans NextDoor runs on the GPU (the
+"scheduling index" share of Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.api.types import NULL_VERTEX
+from repro.gpu.device import Device
+from repro.gpu.warp import WarpStats, coalesced_segments
+
+__all__ = ["TransitMap", "flatten_transits", "build_transit_map",
+           "charge_index_build"]
+
+
+def flatten_transits(transits: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten an ``(S, T)`` transit array into live pairs.
+
+    Returns ``(sample_ids, cols, transit_vals)`` with NULL transits
+    dropped; ``cols`` remembers each pair's position within its
+    sample's transit row so results scatter back to the right slot.
+    """
+    transits = np.asarray(transits, dtype=np.int64)
+    num_samples, width = transits.shape
+    flat = transits.ravel()
+    live = flat != NULL_VERTEX
+    idx = np.nonzero(live)[0]
+    return idx // width, idx % width, flat[idx]
+
+
+@dataclass
+class TransitMap:
+    """All of one step's (sample, transit) pairs grouped by transit.
+
+    ``order`` sorts the flattened pairs by transit vertex;
+    ``unique_transits[i]`` owns the ``counts[i]`` pairs in
+    ``slice(offsets[i], offsets[i + 1])`` of the sorted arrays.
+    """
+
+    sample_ids: np.ndarray   # (K,) pair -> sample, transit-sorted
+    cols: np.ndarray         # (K,) pair -> column in the sample's row
+    transit_vals: np.ndarray  # (K,) pair -> transit vertex, sorted
+    unique_transits: np.ndarray  # (U,)
+    counts: np.ndarray           # (U,) samples per transit
+    offsets: np.ndarray          # (U + 1,)
+    num_total_pairs: int
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.transit_vals.size)
+
+    @property
+    def num_transits(self) -> int:
+        return int(self.unique_transits.size)
+
+    def pairs_of(self, i: int) -> slice:
+        """Sorted-pair slice owned by the ``i``-th unique transit."""
+        return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+
+
+def build_transit_map(transits: np.ndarray) -> TransitMap:
+    """Group a step's pairs by transit vertex (the functional half)."""
+    sample_ids, cols, vals = flatten_transits(transits)
+    order = np.argsort(vals, kind="stable")
+    vals = vals[order]
+    sample_ids = sample_ids[order]
+    cols = cols[order]
+    unique_transits, start_idx, counts = np.unique(
+        vals, return_index=True, return_counts=True)
+    offsets = np.concatenate([start_idx.astype(np.int64),
+                              np.asarray([vals.size], dtype=np.int64)])
+    return TransitMap(sample_ids, cols, vals, unique_transits,
+                      counts.astype(np.int64), offsets,
+                      num_total_pairs=int(np.asarray(transits).size))
+
+
+#: Radix-sort passes over 32-bit keys at 16 bits per pass (CUB's
+#: wide-digit configuration for short keys).
+_RADIX_PASSES = 2
+
+
+def charge_index_build(device: Device, num_pairs: int) -> None:
+    """Charge the GPU cost of building the scheduling index.
+
+    Modeled as CUB's radix sort (two 16-bit counting+scatter passes)
+    plus the partition/scan passes: each pass streams the keys coalesced and
+    scatters them (scatters are the expensive, uncoalesced part —
+    which is why the paper sees up to 40% of time spent here for
+    random walks, whose sampling work per pair is tiny).
+    """
+    if num_pairs <= 0:
+        return
+    kernel = device.new_kernel("build_scheduling_index")
+    warps = int(np.ceil(num_pairs / device.spec.warp_size))
+    warp = WarpStats(device.spec)
+    for _ in range(_RADIX_PASSES):
+        warp.global_load(32)                  # stream keys in
+        # Scatter to digit buckets: CUB ranks within the block first,
+        # so bucket writes land in long mostly-coalesced runs.
+        warp.global_store(32, segments=8)
+        warp.compute(12.0)                    # digit extract + rank
+    # Partition into the three kernel sets + exclusive scans.
+    warp.global_load(32).global_store(32).compute(8.0)
+    blocks = max(1, int(np.ceil(warps / 8)))
+    kernel.add_group(blocks, min(8, warps), warp)
+    device.launch(kernel, phase="scheduling_index")
+
+
+def charge_map_readback(device: Device, num_pairs: int) -> None:
+    """Charge the inverse-map write that puts sampled vertices back in
+    sample order (NextDoor writes output via the scheduling index, then
+    the final gather restores per-sample layout)."""
+    if num_pairs <= 0:
+        return
+    kernel = device.new_kernel("invert_scheduling_index")
+    warps = int(np.ceil(num_pairs / device.spec.warp_size))
+    warp = WarpStats(device.spec)
+    warp.global_load(32)
+    warp.global_store(32, segments=32)  # permutation scatter
+    warp.compute(4.0)
+    kernel.add_group(max(1, int(np.ceil(warps / 8))), min(8, warps), warp)
+    device.launch(kernel, phase="scheduling_index")

@@ -1,0 +1,77 @@
+"""Unique-neighbor dedup (Section 6.3).
+
+"After sampling at each step NextDoor removes duplicated sampled
+vertices by first sorting them with a parallel radix sort, and then
+getting distinct vertices using parallel scan.  If sampled neighbors
+fit in the shared memory then NextDoor performs this computation by
+assigning one sample to one thread block, otherwise one kernel is
+called for each sample.  After this process if the sample size is less
+than the stepSize, then NextDoor performs sampling using a
+sample-parallel approach."
+
+Functionally: within each sample's step row, later duplicates of a
+vertex become NULL, then one sample-parallel top-up pass re-samples the
+emptied slots and keeps any draws that are new.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.api.types import NULL_VERTEX
+from repro.gpu.device import Device
+from repro.gpu.warp import WarpStats, coalesced_segments
+
+__all__ = ["dedupe_rows", "charge_dedup"]
+
+
+def dedupe_rows(rows: np.ndarray) -> Tuple[np.ndarray, int]:
+    """NULL-out duplicate vertices within each row, keeping first
+    occurrences in place.  Returns (deduped rows, number of dups)."""
+    rows = np.asarray(rows)
+    out = rows.copy()
+    num_dups = 0
+    order = np.argsort(rows, axis=1, kind="stable")
+    sorted_vals = np.take_along_axis(rows, order, axis=1)
+    dup_sorted = np.zeros_like(rows, dtype=bool)
+    dup_sorted[:, 1:] = ((sorted_vals[:, 1:] == sorted_vals[:, :-1])
+                         & (sorted_vals[:, 1:] != NULL_VERTEX))
+    # Scatter the duplicate flags back to original positions.
+    dup = np.zeros_like(dup_sorted)
+    np.put_along_axis(dup, order, dup_sorted, axis=1)
+    num_dups = int(dup.sum())
+    out[dup] = NULL_VERTEX
+    return out, num_dups
+
+
+def charge_dedup(device: Device, num_samples: int, row_width: int,
+                 phase: str = "sampling") -> None:
+    """Charge the per-sample block-local radix sort + scan."""
+    spec = device.spec
+    if num_samples == 0 or row_width <= 1:
+        return
+    fits_shared = row_width * 8 <= spec.shared_mem_per_block
+    warps_per_block = max(1, min(spec.max_warps_per_block,
+                                 int(np.ceil(row_width / spec.warp_size))))
+    warp = WarpStats(spec)
+    warp.global_load(row_width / warps_per_block)
+    if fits_shared:
+        # 4-pass block-local radix sort in shared memory + scan.
+        warp.shared_load(4 * coalesced_segments(row_width) / warps_per_block)
+        warp.shared_store(4 * coalesced_segments(row_width) / warps_per_block)
+        warp.compute(16.0 * row_width / (warps_per_block * spec.warp_size))
+    else:
+        # Device-wide sort per sample: global traffic dominates.
+        warp.global_load(4 * row_width / warps_per_block,
+                         segments=4 * row_width / warps_per_block)
+        warp.global_store(4 * row_width / warps_per_block)
+        warp.compute(24.0 * row_width / (warps_per_block * spec.warp_size))
+    warp.global_store(row_width / warps_per_block)
+    kernel = device.new_kernel("unique_dedup")
+    kernel.add_group(num_samples, warps_per_block, warp,
+                     shared_mem_bytes=min(row_width * 8,
+                                          spec.shared_mem_per_block)
+                     if fits_shared else 0)
+    device.launch(kernel, phase=phase)

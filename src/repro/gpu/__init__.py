@@ -1,0 +1,44 @@
+"""A deterministic SIMT GPU performance model (and a CPU analogue).
+
+The paper runs on an NVIDIA Tesla V100.  This environment has no GPU,
+so every engine in this reproduction executes its sampling logic with
+numpy and, alongside it, emits a *warp-level work description* — which
+warps read which adjacency ranges from which memory space, how writes
+land, how much a user function diverges.  This package turns those
+descriptions into:
+
+- kernel execution times (cycles), using a work/span occupancy model;
+- nvprof-style counters (global/L2 transactions, store efficiency,
+  multiprocessor activity, divergent branches).
+
+The point of the substitution: the paper's claims are *architectural*
+(coalescing, shared-memory caching, warp divergence, load balance).
+Those quantities are computed exactly from the access patterns the code
+actually performs, so "who wins and why" is preserved even though
+absolute seconds are modeled, not measured.
+"""
+
+from repro.gpu.spec import GPUSpec, V100, CPUSpec, XEON_SILVER_4216
+from repro.gpu.metrics import KernelCounters, DeviceMetrics
+from repro.gpu.warp import WarpStats
+from repro.gpu.kernel import KernelSpec, KernelResult
+from repro.gpu.device import Device, Timeline
+from repro.gpu.cpu_model import CpuDevice, CpuTask
+from repro.gpu.multi_gpu import MultiGPU
+
+__all__ = [
+    "CPUSpec",
+    "CpuDevice",
+    "CpuTask",
+    "Device",
+    "DeviceMetrics",
+    "GPUSpec",
+    "KernelCounters",
+    "KernelResult",
+    "KernelSpec",
+    "MultiGPU",
+    "Timeline",
+    "V100",
+    "WarpStats",
+    "XEON_SILVER_4216",
+]

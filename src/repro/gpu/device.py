@@ -1,0 +1,100 @@
+"""A modeled GPU device: launches kernels, keeps a timeline.
+
+:class:`Device` is what engines hold.  Each :meth:`launch` evaluates a
+:class:`~repro.gpu.kernel.KernelSpec`, appends it to the timeline under
+a *phase* label (``"sampling"``, ``"scheduling_index"``, ...; Figure 6
+is the per-phase breakdown), and folds counters into
+:class:`~repro.gpu.metrics.DeviceMetrics`.  Host-to-device copies
+(Section 8.4's large-graph mode) go through :meth:`transfer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpu.kernel import KernelResult, KernelSpec
+from repro.gpu.metrics import DeviceMetrics
+from repro.gpu.spec import GPUSpec, V100
+
+__all__ = ["Device", "Timeline", "TimelineEntry"]
+
+
+@dataclass
+class TimelineEntry:
+    """One kernel or transfer on the device timeline."""
+
+    name: str
+    phase: str
+    seconds: float
+    kind: str = "kernel"  # "kernel" | "transfer"
+
+
+@dataclass
+class Timeline:
+    """Ordered record of everything the device did."""
+
+    entries: List[TimelineEntry] = field(default_factory=list)
+
+    def total_seconds(self, phase: Optional[str] = None,
+                      kind: Optional[str] = None) -> float:
+        return sum(e.seconds for e in self.entries
+                   if (phase is None or e.phase == phase)
+                   and (kind is None or e.kind == kind))
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        """Seconds per phase — the data behind Figure 6."""
+        out: Dict[str, float] = {}
+        for e in self.entries:
+            out[e.phase] = out.get(e.phase, 0.0) + e.seconds
+        return out
+
+    def extend(self, other: "Timeline") -> None:
+        self.entries.extend(other.entries)
+
+
+class Device:
+    """A modeled GPU accumulating kernels, transfers, and metrics."""
+
+    def __init__(self, spec: GPUSpec = V100, name: str = "gpu0") -> None:
+        self.spec = spec
+        self.name = name
+        self.timeline = Timeline()
+        self.metrics = DeviceMetrics()
+        #: Per-phase metrics: Table 4's store-efficiency claim is about
+        #: the sampling kernels (sub-warp execution), so benches read
+        #: ``metrics_by_phase["sampling"]``.
+        self.metrics_by_phase: Dict[str, DeviceMetrics] = {}
+
+    def new_kernel(self, name: str) -> KernelSpec:
+        """Convenience constructor bound to this device's spec."""
+        return KernelSpec(name, self.spec)
+
+    def launch(self, kernel: KernelSpec, phase: str = "sampling") -> KernelResult:
+        """Evaluate and record a kernel launch."""
+        result = kernel.evaluate()
+        self.timeline.entries.append(TimelineEntry(
+            kernel.name, phase, self.spec.seconds(result.wall_cycles)))
+        self.metrics.record_kernel(result.counters, result.sm_busy_cycles,
+                                   result.wall_cycles, self.spec.num_sms)
+        per_phase = self.metrics_by_phase.setdefault(phase, DeviceMetrics())
+        per_phase.record_kernel(result.counters, result.sm_busy_cycles,
+                                result.wall_cycles, self.spec.num_sms)
+        return result
+
+    def transfer(self, num_bytes: int, phase: str = "transfer",
+                 name: str = "h2d_copy") -> float:
+        """Record a host-to-device copy; returns seconds."""
+        seconds = self.spec.transfer_seconds(num_bytes)
+        self.timeline.entries.append(TimelineEntry(name, phase, seconds,
+                                                   kind="transfer"))
+        return seconds
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.timeline.total_seconds()
+
+    def reset(self) -> None:
+        self.timeline = Timeline()
+        self.metrics = DeviceMetrics()
+        self.metrics_by_phase = {}

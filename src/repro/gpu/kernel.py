@@ -1,0 +1,162 @@
+"""Kernel launch description and cost evaluation.
+
+A :class:`KernelSpec` is a bag of *block groups* — homogeneous batches
+of thread blocks, each group described by one representative warp
+(:class:`~repro.gpu.warp.WarpStats`) plus shape information.  Cost
+evaluation applies a work/span bound:
+
+``wall = max(longest block, total block cycles / concurrent block slots)``
+
+where the number of concurrent slots is ``num_sms x occupancy`` and
+occupancy is limited by warps, blocks and shared memory per SM — the
+"balance resource usage across thread blocks" requirement of
+Section 2.2.  Imbalanced launches (one huge block — the vanilla-TP
+failure mode) are span-bound; balanced launches (NextDoor's scheduling)
+are throughput-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.gpu.metrics import KernelCounters
+from repro.gpu.spec import GPUSpec
+from repro.gpu.warp import WarpStats
+
+__all__ = ["BlockGroup", "KernelSpec", "KernelResult"]
+
+
+@dataclass
+class BlockGroup:
+    """``num_blocks`` identical thread blocks.
+
+    ``warp`` describes one representative warp; all
+    ``warps_per_block`` warps of each block perform that work.
+    ``serial_rounds`` models a block whose warps each loop ``rounds``
+    times (e.g. a single block serially processing many samples).
+    """
+
+    num_blocks: int
+    warps_per_block: int
+    warp: WarpStats
+    shared_mem_bytes: int = 0
+    serial_rounds: float = 1.0
+
+    @property
+    def block_cycles(self) -> float:
+        """Resident duration of one block.
+
+        Warps in a block share the SM's schedulers: with ``W`` warps and
+        ``s`` schedulers the block's duration is the larger of the
+        critical warp and the issue-throughput bound.
+        """
+        spec = self.warp.spec
+        per_warp = self.warp.cycles * self.serial_rounds
+        total = per_warp * self.warps_per_block
+        return max(per_warp, total / spec.warp_schedulers_per_sm)
+
+    @property
+    def total_warps(self) -> float:
+        return self.num_blocks * self.warps_per_block * self.serial_rounds
+
+    def occupancy(self, spec: GPUSpec) -> int:
+        """Concurrent blocks of this shape per SM."""
+        by_blocks = spec.max_blocks_per_sm
+        by_warps = max(1, spec.max_warps_per_sm // max(1, self.warps_per_block))
+        if self.shared_mem_bytes > 0:
+            by_smem = max(1, spec.shared_mem_per_sm // self.shared_mem_bytes)
+        else:
+            by_smem = spec.max_blocks_per_sm
+        return max(1, min(by_blocks, by_warps, by_smem))
+
+
+@dataclass
+class KernelSpec:
+    """A kernel launch: named, with one or more block groups."""
+
+    name: str
+    spec: GPUSpec
+    groups: List[BlockGroup] = field(default_factory=list)
+
+    def add_group(self, num_blocks: int, warps_per_block: int,
+                  warp: WarpStats, shared_mem_bytes: int = 0,
+                  serial_rounds: float = 1.0) -> None:
+        if num_blocks <= 0 or warps_per_block <= 0:
+            return
+        if warps_per_block > self.spec.max_warps_per_block:
+            raise ValueError(
+                f"{warps_per_block} warps exceeds the "
+                f"{self.spec.max_warps_per_block}-warp block limit")
+        if shared_mem_bytes > self.spec.shared_mem_per_block:
+            raise ValueError("block shared memory exceeds the per-block limit")
+        self.groups.append(BlockGroup(num_blocks, warps_per_block, warp,
+                                      shared_mem_bytes, serial_rounds))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.groups
+
+    def evaluate(self, exact: bool = False) -> "KernelResult":
+        """Fold the block groups into wall cycles + counters.
+
+        ``exact=True`` places every block individually with the
+        event-granular scheduler (:mod:`repro.gpu.schedule`) instead of
+        the work/span bound — slower, used for validation and
+        tail-sensitive experiments.
+        """
+        if exact:
+            from repro.gpu.schedule import simulate_blocks
+            return simulate_blocks(self.spec, self.groups, self.name)
+        spec = self.spec
+        counters = KernelCounters()
+        total_cycles = 0.0
+        span = 0.0
+        weighted_slots = 0.0
+        for group in self.groups:
+            counters.add(group.warp.scaled(group.total_warps))
+            block_cycles = group.block_cycles
+            group_cycles = block_cycles * group.num_blocks
+            total_cycles += group_cycles
+            span = max(span, block_cycles)
+            slots = spec.num_sms * group.occupancy(spec)
+            weighted_slots += group_cycles * slots
+        if total_cycles == 0:
+            return KernelResult(self.name, 0.0, 0.0, counters)
+        avg_slots = weighted_slots / total_cycles
+        wall = max(span, total_cycles / avg_slots)
+        # Device-memory bandwidth floor: however well the SMs overlap,
+        # the kernel cannot finish before its global traffic drains.
+        traffic_bytes = spec.transaction_bytes * (
+            counters.global_load_transactions
+            + counters.global_store_transactions)
+        bw_cycles = traffic_bytes / spec.dram_bytes_per_cycle
+        wall = max(wall, bw_cycles)
+        # Busy cycles: every block occupies one SM for its duration, but
+        # concurrent blocks on the same SM overlap; an SM hosting k
+        # blocks is busy (not k-times busy).  Bandwidth-bound stalls
+        # count as busy on every SM that hosts blocks (nvprof counts a
+        # memory-stalled SM as active).
+        total_blocks = sum(g.num_blocks for g in self.groups)
+        used_sms = min(spec.num_sms, total_blocks)
+        busy = 0.0
+        for group in self.groups:
+            occ = group.occupancy(spec)
+            busy += group.block_cycles * group.num_blocks / occ
+        busy = max(busy, bw_cycles * used_sms)
+        busy = min(busy, wall * spec.num_sms)
+        return KernelResult(self.name, wall, busy, counters)
+
+
+@dataclass
+class KernelResult:
+    """Evaluated cost of one kernel launch."""
+
+    name: str
+    wall_cycles: float
+    sm_busy_cycles: float
+    counters: KernelCounters
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.wall_cycles == 0.0

@@ -1,0 +1,97 @@
+"""Hardware specifications for the performance models.
+
+:data:`V100` mirrors the paper's NVIDIA Tesla V100 (16 GB);
+:data:`XEON_SILVER_4216` mirrors the paper's 16-core Intel Xeon Silver
+4216 host.  All throughput/latency constants are in cycles of the
+owning device's clock and are calibration knobs of the model, not
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "V100", "CPUSpec", "XEON_SILVER_4216"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Architectural parameters of a modeled GPU."""
+
+    name: str = "Tesla V100 (modeled)"
+    num_sms: int = 80
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 32
+    max_warps_per_sm: int = 64
+    warp_schedulers_per_sm: int = 4
+    shared_mem_per_sm: int = 96 * 1024
+    shared_mem_per_block: int = 48 * 1024
+    registers_per_thread: int = 64
+    global_mem_bytes: int = 16 * 1024 ** 3
+    clock_ghz: float = 1.38
+    #: L2 sector size: the unit of a global-memory transaction.
+    transaction_bytes: int = 32
+    #: Amortised throughput cost per global transaction (latency is
+    #: assumed hidden by occupancy; this is the issue/bandwidth cost).
+    global_transaction_cycles: float = 24.0
+    #: Outstanding loads a warp keeps in flight: per-warp *latency* of
+    #: a load burst is its transaction cost divided by this (aggregate
+    #: throughput is separately capped by dram_bandwidth_gbps).
+    memory_parallelism: float = 4.0
+    #: Amortised throughput cost per global *store* transaction: stores
+    #: are fire-and-forget (no warp stalls), costing bandwidth only.
+    store_transaction_cycles: float = 8.0
+    #: Cost per shared-memory (bank-conflict-free) transaction.
+    shared_transaction_cycles: float = 2.0
+    #: Cost per warp-shuffle instruction.
+    shuffle_cycles: float = 1.0
+    #: HBM2 device-memory bandwidth: a kernel can never finish faster
+    #: than its global traffic divided by this.
+    dram_bandwidth_gbps: float = 900.0
+    #: PCIe 3.0 x16 effective host-to-device bandwidth.
+    pcie_bandwidth_gbps: float = 12.0
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bandwidth_gbps / self.clock_ghz
+
+    @property
+    def max_warps_per_block(self) -> int:
+        return self.max_threads_per_block // self.warp_size
+
+    def seconds(self, cycles: float) -> float:
+        """Convert device cycles to seconds."""
+        return cycles / (self.clock_ghz * 1e9)
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Host-to-device copy time over PCIe."""
+        return num_bytes / (self.pcie_bandwidth_gbps * 1e9)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Architectural parameters of a modeled multicore CPU."""
+
+    name: str = "Xeon Silver 4216 (modeled)"
+    cores: int = 16
+    clock_ghz: float = 2.1
+    cache_line_bytes: int = 64
+    #: Amortised cost of a cache-missing random memory access.
+    random_access_cycles: float = 140.0
+    #: Cost of a sequential (prefetched) cache-line access.
+    sequential_line_cycles: float = 4.0
+    #: Cost of one arithmetic op.
+    op_cycles: float = 1.0
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+
+#: The paper's GPU.
+V100 = GPUSpec()
+
+#: The paper's CPU (two sockets x 16 cores in the testbed; the paper's
+#: Table 1 note says "a 16-core Intel Xeon Silver CPU", which is what
+#: the CPU baselines get).
+XEON_SILVER_4216 = CPUSpec()

@@ -1,0 +1,115 @@
+"""Per-warp work accounting.
+
+Engines describe the work of one *representative warp* with a
+:class:`WarpStats`, then hand it to a kernel group that scales it by the
+number of identical warps.  The accessors mirror the events the paper
+reasons about:
+
+- ``global_load`` with a segment count — one transaction per distinct
+  32-byte segment touched by the warp.  Contiguous threads reading the
+  same adjacency list (transit-parallel) touch few segments; threads
+  reading different adjacency lists (sample-parallel) touch up to 32.
+- ``global_store`` with segment count and the ideal count, feeding
+  store-efficiency.
+- ``shared_load`` / ``shared_store`` / ``shuffle`` for the caching
+  strategies of Table 2.
+- ``diverge`` to serialize alternative paths of a branch within the
+  warp (SIMT execution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.gpu.metrics import KernelCounters
+from repro.gpu.spec import GPUSpec
+
+__all__ = ["WarpStats", "coalesced_segments"]
+
+
+def coalesced_segments(num_words: float, word_bytes: int = 8,
+                       segment_bytes: int = 32) -> float:
+    """Transactions for a fully-coalesced access of ``num_words`` words.
+
+    Graph data is 8-byte (int64 vertex ids / float64 weights) in this
+    reproduction, so a 32-byte segment holds 4 words.
+    """
+    if num_words <= 0:
+        return 0.0
+    return math.ceil(num_words * word_bytes / segment_bytes)
+
+
+@dataclass
+class WarpStats:
+    """Cycles and counters for one representative warp."""
+
+    spec: GPUSpec
+    cycles: float = 0.0
+    counters: KernelCounters = field(default_factory=KernelCounters)
+
+    def compute(self, cycles: float) -> "WarpStats":
+        """Arithmetic work (user ``next`` body, RNG, comparisons)."""
+        self.cycles += cycles
+        self.counters.compute_cycles += cycles
+        return self
+
+    def global_load(self, words: float, segments: float = None) -> "WarpStats":
+        """A warp-wide read of ``words`` 8-byte words from global memory.
+
+        ``segments`` defaults to the fully-coalesced count; pass the
+        actual number of distinct 32-byte segments for scattered access
+        (up to one per active thread).
+        """
+        if segments is None:
+            segments = coalesced_segments(words)
+        self.counters.global_load_transactions += segments
+        # Warp-visible latency: the burst overlaps memory_parallelism
+        # outstanding transactions; the DRAM bandwidth floor (kernel
+        # evaluation) separately bounds aggregate throughput.
+        self.cycles += (segments * self.spec.global_transaction_cycles
+                        / self.spec.memory_parallelism)
+        return self
+
+    def global_store(self, words: float, segments: float = None) -> "WarpStats":
+        """A warp-wide write of ``words`` 8-byte words to global memory."""
+        ideal = coalesced_segments(words)
+        if segments is None:
+            segments = ideal
+        self.counters.global_store_transactions += segments
+        self.counters.ideal_global_store_transactions += ideal
+        self.cycles += segments * self.spec.store_transaction_cycles
+        return self
+
+    def shared_load(self, transactions: float) -> "WarpStats":
+        self.counters.shared_load_transactions += transactions
+        self.cycles += transactions * self.spec.shared_transaction_cycles
+        return self
+
+    def shared_store(self, transactions: float) -> "WarpStats":
+        self.counters.shared_store_transactions += transactions
+        self.cycles += transactions * self.spec.shared_transaction_cycles
+        return self
+
+    def shuffle(self, count: float) -> "WarpStats":
+        """Register-to-register exchange via warp shuffles (sub-warp
+        caching strategy of Table 2)."""
+        self.counters.register_shuffles += count
+        self.cycles += count * self.spec.shuffle_cycles
+        return self
+
+    def branch(self, divergent: bool = False,
+               extra_paths: int = 1, path_cycles: float = 0.0) -> "WarpStats":
+        """A branch; if ``divergent``, the warp serializes
+        ``extra_paths`` additional paths of ``path_cycles`` each."""
+        self.counters.branches += 1
+        if divergent:
+            self.counters.divergent_branches += 1
+            added = extra_paths * path_cycles
+            self.cycles += added
+            self.counters.compute_cycles += added
+        return self
+
+    def scaled(self, num_warps: float) -> KernelCounters:
+        """Counters for ``num_warps`` identical warps."""
+        return self.counters.scaled(num_warps)

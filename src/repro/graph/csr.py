@@ -1,0 +1,385 @@
+"""Compressed-sparse-row graph storage.
+
+This is the in-memory format NextDoor stores on the GPU: a vertex offset
+array (``indptr``), a neighbor array (``indices``), and an optional edge
+weight array.  All sampling engines operate directly on these arrays so
+that the access patterns the GPU model charges for are the access
+patterns the code actually performs.
+
+Rows (adjacency lists) are kept sorted by neighbor id, which gives
+O(log d) ``has_edge`` — the primitive node2vec's rejection sampling needs
+to test whether a candidate is a neighbor of the previous transit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """A directed graph in CSR form with optional float edge weights.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_vertices + 1``; row ``v`` of the
+        adjacency structure is ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int64`` array of neighbor ids, each row sorted ascending.
+    weights:
+        Optional ``float64`` array aligned with ``indices``.  When
+        present, weighted samplers (e.g. DeepWalk's biased walk) use it;
+        ``weight_prefix`` exposes the per-row cumulative sums the
+        paper's ``Vertex`` utility class provides.
+    name:
+        Human-readable name used in benchmark reports.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        name: str = "graph",
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise ValueError("indptr must be a 1-D array of length >= 1")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError(
+                "indptr must start at 0 and end at len(indices) "
+                f"(got {indptr[0]}..{indptr[-1]} for {indices.size} edges)"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        num_vertices = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= num_vertices):
+            raise ValueError("indices contains out-of-range vertex ids")
+
+        if weights is not None:
+            weights = np.ascontiguousarray(weights, dtype=np.float64)
+            if weights.shape != indices.shape:
+                raise ValueError("weights must align with indices")
+            if indices.size and weights.min() < 0:
+                raise ValueError("edge weights must be non-negative")
+
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.name = name
+        self._sort_rows()
+        self._weight_prefix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int]],
+        weights: Optional[Iterable[float]] = None,
+        undirected: bool = False,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a CSR graph from an edge list.
+
+        With ``undirected=True`` each edge is inserted in both
+        directions (the SNAP social graphs in Table 3 are undirected).
+        """
+        edge_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                              dtype=np.int64)
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise ValueError("edges must be an iterable of (src, dst) pairs")
+        w_arr = None
+        if weights is not None:
+            w_arr = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights,
+                               dtype=np.float64)
+            if w_arr.shape != (edge_arr.shape[0],):
+                raise ValueError("weights must align with edges")
+        if undirected and edge_arr.shape[0]:
+            edge_arr = np.concatenate([edge_arr, edge_arr[:, ::-1]], axis=0)
+            if w_arr is not None:
+                w_arr = np.concatenate([w_arr, w_arr])
+
+        src = edge_arr[:, 0]
+        dst = edge_arr[:, 1]
+        if edge_arr.shape[0] and (src.min() < 0 or dst.min() < 0
+                                  or src.max() >= num_vertices
+                                  or dst.max() >= num_vertices):
+            raise ValueError("edge endpoints out of range")
+
+        order = np.argsort(src, kind="stable")
+        src = src[order]
+        dst = dst[order]
+        if w_arr is not None:
+            w_arr = w_arr[order]
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst, weights=w_arr, name=name)
+
+    def with_random_weights(self, low: float = 1.0, high: float = 5.0,
+                            seed: int = 0) -> "CSRGraph":
+        """Return a weighted copy with weights uniform in ``[low, high)``.
+
+        This is the paper's procedure for producing weighted variants of
+        the SNAP graphs ("assigning weights to each edge randomly from
+        [1, 5)", Section 8).
+        """
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(low, high, size=self.indices.size)
+        return CSRGraph(self.indptr.copy(), self.indices.copy(),
+                        weights=weights, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def degree(self, v: int) -> int:
+        """Out-degree of vertex ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all out-degrees."""
+        return np.diff(self.indptr)
+
+    @property
+    def avg_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` (a view, do not mutate)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        """Weights of the edges leaving ``v`` (aligned with neighbors)."""
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        return self.weights[self.indptr[v]:self.indptr[v + 1]]
+
+    def max_edge_weight(self, v: int) -> float:
+        """Maximum weight of the edges leaving ``v``.
+
+        Mirrors the ``Vertex.maxEdgeWeight`` utility of the paper's API
+        (used by node2vec's rejection-sampling envelope).
+        """
+        w = self.edge_weights(v)
+        return float(w.max()) if w.size else 0.0
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the directed edge ``(u, v)`` exists (binary search)."""
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.size and row[pos] == v)
+
+    def _edge_keys(self) -> np.ndarray:
+        """Globally sorted ``src * n + dst`` keys for every edge.
+
+        Rows are contiguous and sorted, so the composite key array is
+        globally sorted; one vectorised ``searchsorted`` then answers
+        arbitrary batches of edge-existence queries.  Cached lazily
+        (8 bytes per edge).
+        """
+        if getattr(self, "_edge_key_cache", None) is None:
+            degrees = np.diff(self.indptr)
+            row_of_edge = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), degrees)
+            self._edge_key_cache = row_of_edge * self.num_vertices + self.indices
+        return self._edge_key_cache
+
+    def has_edges(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`has_edge` for aligned arrays ``u``, ``v``.
+
+        This is the hot primitive of node2vec: for each candidate
+        neighbor ``v[i]`` of the current transit, test membership in
+        the adjacency list of the previous transit ``u[i]``.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError("u and v must have the same shape")
+        if u.size == 0:
+            return np.zeros(0, dtype=bool)
+        keys = self._edge_keys()
+        query = u * np.int64(self.num_vertices) + v
+        pos = np.searchsorted(keys, query)
+        found = np.zeros(u.shape, dtype=bool)
+        in_range = pos < keys.size
+        idx = np.nonzero(in_range)
+        found[idx] = keys[pos[idx]] == query[idx]
+        return found
+
+    # ------------------------------------------------------------------
+    # Weighted-sampling support
+    # ------------------------------------------------------------------
+
+    def weight_prefix(self) -> np.ndarray:
+        """Global prefix-sum of edge weights, per CSR row.
+
+        ``weight_prefix()[indptr[v]:indptr[v+1]]`` is the cumulative
+        weight of the edges of ``v``; biased samplers binary-search it.
+        Mirrors the paper's prefix-sum ``Vertex`` utility.  Computed
+        lazily and cached.
+        """
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        if self._weight_prefix is None:
+            if self.weights.size == 0:
+                self._weight_prefix = np.zeros(0, dtype=np.float64)
+                return self._weight_prefix
+            prefix = np.cumsum(self.weights)
+            row_base = np.zeros_like(prefix)
+            starts = self.indptr[:-1]
+            valid = starts < self.indptr[1:]
+            # Subtract the cumulative total before each row start so each
+            # row's prefix restarts at its own first weight.
+            base_per_row = np.where(starts > 0, prefix[starts - 1], 0.0)
+            expanded = np.repeat(base_per_row[valid],
+                                 np.diff(self.indptr)[valid])
+            row_base[:] = expanded
+            self._weight_prefix = prefix - row_base
+        return self._weight_prefix
+
+    def global_weight_cumsum(self) -> np.ndarray:
+        """Monotone cumulative sum of all edge weights in CSR order.
+
+        Weighted samplers binary-search this single array for every
+        row at once: the slice ``[indptr[v], indptr[v+1])`` of the
+        cumsum spans row ``v``'s weight mass.  Cached lazily.
+        """
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        if getattr(self, "_global_cumsum_cache", None) is None:
+            self._global_cumsum_cache = np.cumsum(self.weights)
+        return self._global_cumsum_cache
+
+    def row_max_weight(self) -> np.ndarray:
+        """Maximum outgoing edge weight per vertex (cached).
+
+        The vectorised form of :meth:`max_edge_weight` — node2vec's
+        rejection envelope needs it for every transit of a step.
+        """
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        if getattr(self, "_row_max_cache", None) is None:
+            out = np.zeros(self.num_vertices, dtype=np.float64)
+            starts = self.indptr[:-1]
+            nonempty = np.nonzero(starts < self.indptr[1:])[0]
+            if nonempty.size:
+                out[nonempty] = np.maximum.reduceat(
+                    self.weights, starts[nonempty])
+            self._row_max_cache = out
+        return self._row_max_cache
+
+    def row_total_weight(self) -> np.ndarray:
+        """Total edge weight per vertex (last entry of each row prefix)."""
+        prefix = self.weight_prefix()
+        totals = np.zeros(self.num_vertices, dtype=np.float64)
+        ends = self.indptr[1:]
+        nonempty = ends > self.indptr[:-1]
+        totals[nonempty] = prefix[ends[nonempty] - 1]
+        return totals
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def non_isolated_vertices(self) -> np.ndarray:
+        """Vertices with at least one outgoing edge (cached).
+
+        Automatic root selection draws from these: a walk rooted on an
+        isolated vertex dies immediately, which the paper's SNAP graphs
+        (no isolated vertices) never exhibit.
+        """
+        if getattr(self, "_non_isolated_cache", None) is None:
+            self._non_isolated_cache = np.nonzero(np.diff(self.indptr) > 0)[0]
+        return self._non_isolated_cache
+
+    def subgraph(self, vertices: np.ndarray, name: Optional[str] = None) -> "CSRGraph":
+        """Induced subgraph on ``vertices`` with relabeled ids 0..k-1."""
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        relabel = -np.ones(self.num_vertices, dtype=np.int64)
+        relabel[vertices] = np.arange(vertices.size)
+        srcs = []
+        dsts = []
+        wts = [] if self.is_weighted else None
+        for new_u, u in enumerate(vertices):
+            row = self.neighbors(u)
+            keep = relabel[row] >= 0
+            dst = relabel[row[keep]]
+            srcs.append(np.full(dst.size, new_u, dtype=np.int64))
+            dsts.append(dst)
+            if wts is not None:
+                wts.append(self.edge_weights(u)[keep])
+        src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
+        dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
+        edges = np.stack([src, dst], axis=1) if src.size else np.zeros((0, 2), np.int64)
+        weights = np.concatenate(wts) if wts else None
+        return CSRGraph.from_edges(vertices.size, edges, weights=weights,
+                                   name=name or f"{self.name}-sub")
+
+    def memory_bytes(self) -> int:
+        """Bytes this graph occupies in device memory (CSR arrays)."""
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _sort_rows(self) -> None:
+        """Sort each adjacency row ascending (idempotent).
+
+        Weights, when present, are permuted together with their edges.
+        """
+        degrees = np.diff(self.indptr)
+        if degrees.size == 0 or self.indices.size == 0:
+            return
+        row_of_edge = np.repeat(np.arange(self.num_vertices), degrees)
+        order = np.lexsort((self.indices, row_of_edge))
+        self.indices = self.indices[order]
+        if self.weights is not None:
+            self.weights = self.weights[order]
+
+    def __repr__(self) -> str:
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return (f"CSRGraph(name={self.name!r}, vertices={self.num_vertices}, "
+                f"edges={self.num_edges}, {kind})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        same_structure = (np.array_equal(self.indptr, other.indptr)
+                          and np.array_equal(self.indices, other.indices))
+        if not same_structure:
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        if self.weights is None:
+            return True
+        return np.allclose(self.weights, other.weights)

@@ -1,0 +1,32 @@
+"""A small GNN training substrate for the end-to-end experiments.
+
+The paper's Tables 1 and 5 measure how much of a GNN training epoch is
+spent sampling, and how much faster the epoch gets once NextDoor
+replaces the GNN's own sampler.  This package provides:
+
+- :mod:`repro.train.layers` / :mod:`repro.train.models` — a numpy
+  GraphSAGE-style model with real forward/backward passes, so the
+  examples demonstrably *learn* on sampled mini-batches;
+- :mod:`repro.train.trainer` — a mini-batch trainer that plugs in any
+  sampling engine;
+- :mod:`repro.train.epoch_model` — the epoch *cost* model (sampling
+  backend time + modeled GPU training time + host/device copies) that
+  regenerates Table 1's sampling fractions and Table 5's end-to-end
+  speedups.
+"""
+
+from repro.train.models import GraphSAGEModel
+from repro.train.trainer import Trainer, TrainConfig
+from repro.train.epoch_model import EpochCostModel, GNN_CONFIGS
+from repro.train.loader import MiniBatch, SampleLoader
+from repro.train.embeddings import (
+    EmbeddingConfig,
+    SkipGramModel,
+    train_embeddings,
+)
+from repro.train.gcn import FastGCNModel, FastGCNTrainer
+
+__all__ = ["EmbeddingConfig", "EpochCostModel", "FastGCNModel",
+           "FastGCNTrainer", "GNN_CONFIGS", "GraphSAGEModel",
+           "MiniBatch", "SampleLoader", "SkipGramModel", "TrainConfig",
+           "Trainer", "train_embeddings"]

@@ -1,0 +1,73 @@
+"""Numpy neural-network layers with explicit backward passes."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["Dense", "relu", "relu_grad", "softmax_cross_entropy",
+           "mean_aggregate"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    return (x > 0.0).astype(x.dtype)
+
+
+class Dense:
+    """Fully-connected layer ``y = x @ W + b`` with SGD updates."""
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: np.random.Generator) -> None:
+        limit = np.sqrt(6.0 / (in_dim + out_dim))
+        self.W = rng.uniform(-limit, limit, size=(in_dim, out_dim))
+        self.b = np.zeros(out_dim)
+        self._x: np.ndarray = np.zeros(0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray, lr: float) -> np.ndarray:
+        """SGD step; returns the gradient w.r.t. the input."""
+        grad_in = grad_out @ self.W.T
+        self.W -= lr * (self._x.T @ grad_out) / max(1, self._x.shape[0])
+        self.b -= lr * grad_out.mean(axis=0)
+        return grad_in
+
+    @property
+    def num_params(self) -> int:
+        return self.W.size + self.b.size
+
+
+def softmax_cross_entropy(logits: np.ndarray,
+                          labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. logits."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    loss = float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def mean_aggregate(neighbor_features: np.ndarray,
+                   neighbor_ids: np.ndarray,
+                   null_id: int = -1) -> np.ndarray:
+    """Mean of each row's valid neighbors' features.
+
+    ``neighbor_ids`` is ``(B, K)`` (NULL-padded); rows with no valid
+    neighbor aggregate to zero — exactly how GraphSAGE treats sampled
+    neighborhoods of isolated vertices.
+    """
+    valid = neighbor_ids != null_id
+    safe_ids = np.where(valid, neighbor_ids, 0)
+    feats = neighbor_features[safe_ids] * valid[..., None]
+    counts = np.maximum(valid.sum(axis=1, keepdims=True), 1)
+    return feats.sum(axis=1) / counts

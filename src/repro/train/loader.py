@@ -1,0 +1,113 @@
+"""Mini-batch loader: the Section 6.5 integration surface.
+
+"NextDoor provides Python 2 and 3 modules that can be used to do
+sampling from within a GNN.  For this, users first define NextDoor API
+functions, then call doSampling ... and finally call getFinalSamples to
+obtain samples in a numpy.ndarray."
+
+:class:`SampleLoader` packages that loop the way a training framework
+consumes it: an iterable over epochs of (roots, sampled arrays)
+mini-batches, each produced by a (pluggable) sampling engine, with
+epoch-level shuffling and modeled-sampling-time accounting.  The
+:class:`~repro.train.trainer.Trainer` uses it; so can any external
+training loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.api.app import SamplingApp
+from repro.core.engine import NextDoorEngine
+from repro.graph.csr import CSRGraph
+
+__all__ = ["MiniBatch", "SampleLoader"]
+
+
+@dataclass
+class MiniBatch:
+    """One sampled mini-batch."""
+
+    roots: np.ndarray
+    samples: Union[np.ndarray, List[np.ndarray]]
+    #: Modeled sampling seconds for this batch.
+    sampling_seconds: float
+    epoch: int
+    index: int
+
+
+class SampleLoader:
+    """Iterable of engine-sampled mini-batches over a vertex set.
+
+    Parameters
+    ----------
+    graph, app, engine:
+        What to sample, with what, on what.
+    batch_size:
+        Root vertices per mini-batch.
+    vertices:
+        Root pool; defaults to every non-isolated vertex.
+    shuffle:
+        Re-permute the pool each epoch (seeded).
+    drop_last:
+        Drop a trailing partial batch.
+    """
+
+    def __init__(self, graph: CSRGraph, app: SamplingApp,
+                 engine: Optional[NextDoorEngine] = None,
+                 batch_size: int = 256,
+                 vertices: Optional[np.ndarray] = None,
+                 shuffle: bool = True,
+                 drop_last: bool = False,
+                 seed: int = 0) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.graph = graph
+        self.app = app
+        self.engine = engine or NextDoorEngine()
+        self.batch_size = batch_size
+        if vertices is None:
+            vertices = graph.non_isolated_vertices()
+        self.vertices = np.asarray(vertices, dtype=np.int64)
+        if self.vertices.size == 0:
+            raise ValueError("no root vertices to sample from")
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.seed = seed
+        self._epoch = 0
+        #: Accumulated modeled sampling time across all batches served.
+        self.total_sampling_seconds = 0.0
+
+    def __len__(self) -> int:
+        """Batches per epoch."""
+        full, rem = divmod(self.vertices.size, self.batch_size)
+        return full if (self.drop_last or rem == 0) else full + 1
+
+    def epoch(self, epoch: Optional[int] = None) -> Iterator[MiniBatch]:
+        """Iterate one epoch of mini-batches."""
+        if epoch is None:
+            epoch = self._epoch
+            self._epoch += 1
+        order = self.vertices
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed + epoch)
+            order = rng.permutation(order)
+        for index, start in enumerate(range(0, order.size,
+                                            self.batch_size)):
+            roots = order[start:start + self.batch_size]
+            if roots.size < self.batch_size and self.drop_last:
+                return
+            result = self.engine.run(
+                self.app, self.graph, roots=roots[:, None],
+                seed=self.seed + epoch * 100_003 + index)
+            self.total_sampling_seconds += result.seconds
+            yield MiniBatch(roots=roots,
+                            samples=result.get_final_samples(),
+                            sampling_seconds=result.seconds,
+                            epoch=epoch, index=index)
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        return self.epoch()

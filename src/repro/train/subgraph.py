@@ -1,0 +1,161 @@
+"""Turning samples into GNN-consumable structures.
+
+The paper's output formats (Section 4.1) hand a GNN either per-step
+vertex arrays (k-hop) or flat samples with recorded adjacency
+(FastGCN/LADIES/ClusterGCN).  Real training layers want a bit more
+structure; this module provides it:
+
+- :func:`induced_adjacency` — a sample's recorded edges as a local CSR
+  over the sample's own vertex numbering (ClusterGCN's training
+  matrix).
+- :func:`layer_matrix` — FastGCN/LADIES-style bipartite layer matrix
+  between a step's transits and its newly sampled vertices, with the
+  row-normalisation those methods apply.
+- :func:`unique_vertices` — a batch's distinct vertices plus the
+  mapping needed to gather their feature rows once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.api.sample import SampleBatch
+from repro.api.types import NULL_VERTEX
+
+__all__ = ["induced_adjacency", "layer_matrix", "unique_vertices",
+           "LocalCSR"]
+
+
+class LocalCSR:
+    """A small CSR matrix over a local (relabelled) vertex set."""
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 values: np.ndarray, local_to_global: np.ndarray) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.values = values
+        #: ``local_to_global[i]`` is the graph vertex behind local id i.
+        self.local_to_global = local_to_global
+
+    @property
+    def num_rows(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def dense(self) -> np.ndarray:
+        """Densify (tests / tiny samples only)."""
+        out = np.zeros((self.num_rows, self.num_rows))
+        for row in range(self.num_rows):
+            lo, hi = self.indptr[row], self.indptr[row + 1]
+            out[row, self.indices[lo:hi]] = self.values[lo:hi]
+        return out
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix--(dense matrix) product: aggregation step."""
+        out = np.zeros((self.num_rows,) + x.shape[1:])
+        for row in range(self.num_rows):
+            lo, hi = self.indptr[row], self.indptr[row + 1]
+            if hi > lo:
+                out[row] = (x[self.indices[lo:hi]]
+                            * self.values[lo:hi, None]).sum(axis=0)
+        return out
+
+
+def _build_csr(rows: np.ndarray, cols: np.ndarray, values: np.ndarray,
+               n: int, local_to_global: np.ndarray) -> LocalCSR:
+    order = np.argsort(rows, kind="stable")
+    rows, cols, values = rows[order], cols[order], values[order]
+    counts = np.bincount(rows, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return LocalCSR(indptr, cols, values, local_to_global)
+
+
+def induced_adjacency(batch: SampleBatch, sample_index: int,
+                      normalize: bool = True) -> LocalCSR:
+    """The recorded edges of one sample as a local CSR.
+
+    ``normalize=True`` applies ClusterGCN's row normalisation
+    (``A_hat = D^-1 (A + I)``), which is what its training step
+    multiplies features by.
+    """
+    edges = batch.sample_edges(sample_index)
+    verts = batch.sample_vertices(sample_index)
+    if edges.size:
+        verts = np.union1d(verts, edges.ravel())
+    verts = np.unique(verts[verts != NULL_VERTEX])
+    relabel: Dict[int, int] = {int(v): i for i, v in enumerate(verts)}
+    n = verts.size
+    if n == 0:
+        return LocalCSR(np.zeros(1, dtype=np.int64),
+                        np.zeros(0, dtype=np.int64),
+                        np.zeros(0), verts)
+    rows = np.array([relabel[int(u)] for u in edges[:, 0]], dtype=np.int64)
+    cols = np.array([relabel[int(v)] for v in edges[:, 1]], dtype=np.int64)
+    # Self loops (the +I term).
+    if normalize:
+        rows = np.concatenate([rows, np.arange(n)])
+        cols = np.concatenate([cols, np.arange(n)])
+    values = np.ones(rows.size)
+    csr = _build_csr(rows, cols, values, n, verts)
+    if normalize:
+        degrees = np.diff(csr.indptr).astype(np.float64)
+        expand = np.repeat(np.maximum(degrees, 1.0), np.diff(csr.indptr))
+        csr.values = csr.values / expand
+    return csr
+
+
+def layer_matrix(batch: SampleBatch, sample_index: int,
+                 step: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """FastGCN/LADIES bipartite layer matrix for one sample & step.
+
+    Returns ``(transit_ids, new_ids, matrix)`` where ``matrix[i, j]`` is
+    the (row-normalised) weight of edge (transit i, new vertex j) among
+    the sample's recorded edges of that step.
+    """
+    if step >= len(batch.edges):
+        raise IndexError(f"step {step} has no recorded edges")
+    step_edges = batch.edges[step]
+    mine = step_edges[step_edges[:, 0] == sample_index][:, 1:]
+    if step == 0:
+        transits = batch.roots[sample_index]
+    else:
+        transits = batch.step_vertices[step - 1][sample_index]
+    transits = np.unique(transits[transits != NULL_VERTEX])
+    new = batch.step_vertices[step][sample_index]
+    new = np.unique(new[new != NULL_VERTEX])
+    matrix = np.zeros((transits.size, new.size))
+    t_index = {int(v): i for i, v in enumerate(transits)}
+    n_index = {int(v): j for j, v in enumerate(new)}
+    for u, v in mine:
+        i = t_index.get(int(u))
+        j = n_index.get(int(v))
+        if i is not None and j is not None:
+            matrix[i, j] += 1.0
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    np.divide(matrix, row_sums, out=matrix, where=row_sums > 0)
+    return transits, new, matrix
+
+
+def unique_vertices(arrays: List[np.ndarray]) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Distinct vertices across arrays + each array relabelled to local
+    indices (NULL stays NULL): gather features once, index locally."""
+    live = [a[a != NULL_VERTEX] for a in arrays]
+    verts = (np.unique(np.concatenate(live)) if any(a.size for a in live)
+             else np.zeros(0, dtype=np.int64))
+    lookup = -np.ones(int(verts.max()) + 2 if verts.size else 1,
+                      dtype=np.int64)
+    if verts.size:
+        lookup[verts] = np.arange(verts.size)
+    relabelled = []
+    for a in arrays:
+        out = np.full(a.shape, NULL_VERTEX, dtype=np.int64)
+        mask = a != NULL_VERTEX
+        out[mask] = lookup[a[mask]]
+        relabelled.append(out)
+    return verts, relabelled

@@ -1,0 +1,113 @@
+"""Mini-batch GNN training driven by a pluggable sampling engine.
+
+This is the integration point of Section 6.5: the trainer asks a
+sampling engine for each mini-batch's k-hop neighborhoods (the paper's
+``doSampling`` / ``getFinalSamples``), then runs the numpy model on the
+result.  Swapping :class:`~repro.baselines.ReferenceSamplerEngine` for
+:class:`~repro.core.engine.NextDoorEngine` is exactly the integration
+the paper performs on real GNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.api.apps.khop import KHop
+from repro.core.engine import NextDoorEngine
+from repro.graph.csr import CSRGraph
+from repro.train.loader import SampleLoader
+from repro.train.models import GraphSAGEModel
+
+__all__ = ["TrainConfig", "Trainer", "synthetic_features_and_labels"]
+
+
+def synthetic_features_and_labels(graph: CSRGraph, feature_dim: int,
+                                  num_classes: int, seed: int = 0):
+    """Degree-correlated features and labels.
+
+    Labels are degree-quantile buckets and features are noisy
+    one-hot-ish encodings of the label, so a model that actually uses
+    the sampled neighborhood can beat chance — giving the examples and
+    tests a learnability signal to assert on.
+    """
+    rng = np.random.default_rng(seed)
+    degrees = graph.degrees().astype(np.float64)
+    quantiles = np.quantile(degrees, np.linspace(0, 1, num_classes + 1)[1:-1])
+    labels = np.searchsorted(quantiles, degrees).astype(np.int64)
+    features = rng.normal(0.0, 1.0, size=(graph.num_vertices, feature_dim))
+    for c in range(num_classes):
+        features[labels == c, c % feature_dim] += 2.5
+    return features, labels
+
+
+@dataclass
+class TrainConfig:
+    batch_size: int = 256
+    epochs: int = 3
+    hidden_dim: int = 64
+    feature_dim: int = 32
+    num_classes: int = 4
+    fanouts: tuple = (25, 10)
+    lr: float = 0.5
+    seed: int = 0
+
+
+@dataclass
+class EpochStats:
+    loss: float
+    accuracy: float
+    sampling_seconds_modeled: float
+    num_batches: int
+
+
+class Trainer:
+    """Trains :class:`GraphSAGEModel` on engine-sampled mini-batches."""
+
+    def __init__(self, graph: CSRGraph, config: TrainConfig = TrainConfig(),
+                 engine: Optional[NextDoorEngine] = None) -> None:
+        self.graph = graph
+        self.config = config
+        self.engine = engine or NextDoorEngine()
+        self.features, self.labels = synthetic_features_and_labels(
+            graph, config.feature_dim, config.num_classes, config.seed)
+        self.model = GraphSAGEModel(config.feature_dim, config.hidden_dim,
+                                    config.num_classes, seed=config.seed)
+        self.history: List[EpochStats] = []
+
+    def run_epoch(self, epoch: int) -> EpochStats:
+        cfg = self.config
+        loader = SampleLoader(self.graph, KHop(cfg.fanouts),
+                              engine=self.engine,
+                              batch_size=cfg.batch_size,
+                              seed=cfg.seed)
+        losses = []
+        sampling_seconds = 0.0
+        num_batches = 0
+        for batch in loader.epoch(epoch):
+            loss = self.model.train_step(batch.roots, batch.samples,
+                                         self.features, self.labels,
+                                         lr=cfg.lr)
+            losses.append(loss)
+            sampling_seconds += batch.sampling_seconds
+            num_batches += 1
+        eval_pool = self.graph.non_isolated_vertices()
+        eval_roots = eval_pool[:min(2048, eval_pool.size)]
+        app = KHop(cfg.fanouts)
+        hops = self.engine.run(app, self.graph, roots=eval_roots[:, None],
+                               seed=cfg.seed).get_final_samples()
+        stats = EpochStats(
+            loss=float(np.mean(losses)) if losses else float("nan"),
+            accuracy=self.model.accuracy(eval_roots, hops, self.features,
+                                         self.labels),
+            sampling_seconds_modeled=sampling_seconds,
+            num_batches=num_batches)
+        self.history.append(stats)
+        return stats
+
+    def train(self) -> List[EpochStats]:
+        for epoch in range(self.config.epochs):
+            self.run_epoch(epoch)
+        return self.history

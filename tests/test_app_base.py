@@ -1,0 +1,133 @@
+"""SamplingApp base class: defaults and the reference path."""
+
+import numpy as np
+import pytest
+
+from repro.api.app import SamplingApp
+from repro.api.sample import SampleBatch
+from repro.api.types import NULL_VERTEX, SamplingType
+from repro.api.vertex import Vertex
+
+
+class FirstNeighbor(SamplingApp):
+    """Deterministic custom app: always takes the smallest neighbor."""
+
+    name = "first-neighbor"
+
+    def steps(self):
+        return 3
+
+    def sample_size(self, step):
+        return 1
+
+    def next(self, sample, transits, src_edges, step, rng):
+        if src_edges.size == 0:
+            return NULL_VERTEX
+        return int(src_edges[0])
+
+
+class TestDefaults:
+    def test_sampling_type_default(self):
+        assert FirstNeighbor().sampling_type() is SamplingType.INDIVIDUAL
+
+    def test_unique_default(self):
+        assert FirstNeighbor().unique(0) is False
+
+    def test_expected_transits(self):
+        class Wide(FirstNeighbor):
+            def sample_size(self, step):
+                return (25, 10)[step]
+        app = Wide()
+        assert app.expected_transits(0) == 1
+        assert app.expected_transits(1) == 25
+        assert app.expected_transits(2) == 250
+
+    def test_repr(self):
+        assert "first-neighbor" in repr(FirstNeighbor())
+
+    def test_abstract_methods_raise(self):
+        base = SamplingApp()
+        with pytest.raises(NotImplementedError):
+            base.steps()
+        with pytest.raises(NotImplementedError):
+            base.sample_size(0)
+        with pytest.raises(NotImplementedError):
+            base.next(None, None, None, 0, None)
+
+
+class TestRandomRoots:
+    def test_default_initial_roots_shape(self, tiny_graph, rng):
+        roots = FirstNeighbor().initial_roots(tiny_graph, 10, rng)
+        assert roots.shape == (10, 1)
+
+    def test_roots_avoid_isolated(self, rng):
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(100, [(0, 1)], undirected=True)
+        roots = SamplingApp.random_roots(g, (500,), rng)
+        assert set(np.unique(roots)) <= {0, 1}
+
+    def test_roots_empty_graph_rejected(self, rng):
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(5, [])
+        with pytest.raises(ValueError):
+            SamplingApp.random_roots(g, (3,), rng)
+
+
+class TestReferencePath:
+    def test_default_sample_neighbors_calls_next(self, tiny_graph, rng):
+        app = FirstNeighbor()
+        transits = np.array([0, 1, NULL_VERTEX])
+        out, info = app.sample_neighbors(tiny_graph, transits, 0, rng)
+        assert out.shape == (3, 1)
+        assert out[0, 0] == tiny_graph.neighbors(0)[0]
+        assert out[2, 0] == NULL_VERTEX
+
+    def test_step_transits_default_is_prev_step(self, tiny_graph):
+        app = FirstNeighbor()
+        batch = SampleBatch(tiny_graph, np.array([[4]]))
+        assert app.step_transits(0, batch[0], 0) == 4
+        batch.append_step(np.array([[5]]))
+        assert app.step_transits(1, batch[0], 0) == 5
+
+    def test_transits_for_step_default(self, tiny_graph):
+        app = FirstNeighbor()
+        batch = SampleBatch(tiny_graph, np.array([[4], [5]]))
+        assert np.array_equal(app.transits_for_step(batch, 0), batch.roots)
+        batch.append_step(np.array([[1], [2]]))
+        assert np.array_equal(app.transits_for_step(batch, 1),
+                              batch.step_vertices[0])
+
+
+class TestVertexUtility:
+    def test_degree_and_neighbors(self, tiny_graph):
+        v = Vertex(tiny_graph, 0)
+        assert v.degree() == tiny_graph.degree(0)
+        assert np.array_equal(v.neighbors(), tiny_graph.neighbors(0))
+
+    def test_has_edge(self, tiny_graph):
+        assert Vertex(tiny_graph, 0).has_edge(1)
+        assert not Vertex(tiny_graph, 0).has_edge(6)
+
+    def test_max_edge_weight(self, tiny_weighted):
+        v = Vertex(tiny_weighted, 0)
+        assert v.max_edge_weight() == pytest.approx(
+            tiny_weighted.edge_weights(0).max())
+
+    def test_prefix_sum(self, tiny_weighted):
+        v = Vertex(tiny_weighted, 0)
+        prefix = v.edge_weight_prefix_sum()
+        assert np.allclose(prefix,
+                           np.cumsum(tiny_weighted.edge_weights(0)))
+
+    def test_equality_and_hash(self, tiny_graph):
+        assert Vertex(tiny_graph, 3) == Vertex(tiny_graph, 3)
+        assert Vertex(tiny_graph, 3) == 3
+        assert hash(Vertex(tiny_graph, 3)) == hash(3)
+        assert Vertex(tiny_graph, 3).__eq__("x") is NotImplemented
+
+    def test_out_of_range(self, tiny_graph):
+        with pytest.raises(ValueError):
+            Vertex(tiny_graph, 99)
+
+    def test_int_conversion(self, tiny_graph):
+        assert int(Vertex(tiny_graph, 2)) == 2

@@ -1,0 +1,157 @@
+"""RWR and MHRW: the extension walks built on the paper's API."""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import MHRW, RWR, DeepWalk
+from repro.api.types import NULL_VERTEX
+from repro.core.engine import NextDoorEngine
+
+
+class TestRWR:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RWR(restart_prob=1.0)
+        with pytest.raises(ValueError):
+            RWR(restart_prob=-0.1)
+
+    def test_restart_rate_matches(self, medium_graph):
+        result = NextDoorEngine().run(RWR(restart_prob=0.3,
+                                          walk_length=40),
+                                      medium_graph, num_samples=400,
+                                      seed=0)
+        walks = result.get_final_samples()
+        roots = result.batch.roots[:, 0]
+        revisit = (walks == roots[:, None]).mean()
+        assert 0.25 < revisit < 0.4
+
+    def test_zero_restart_is_plain_walk(self, medium_graph):
+        rwr = NextDoorEngine().run(RWR(restart_prob=0.0, walk_length=10),
+                                   medium_graph, num_samples=64, seed=3)
+        walk = NextDoorEngine().run(DeepWalk(walk_length=10),
+                                    medium_graph, num_samples=64, seed=3)
+        assert np.array_equal(rwr.batch.roots, walk.batch.roots)
+
+    def test_steps_are_edges_or_restarts(self, medium_graph):
+        result = NextDoorEngine().run(RWR(restart_prob=0.2,
+                                          walk_length=20),
+                                      medium_graph, num_samples=64,
+                                      seed=0)
+        walks = result.get_final_samples()
+        roots = result.batch.roots[:, 0]
+        full = np.concatenate([roots[:, None], walks], axis=1)
+        for s in range(64):
+            for j in range(1, full.shape[1]):
+                v, prev = full[s, j], full[s, j - 1]
+                if v == NULL_VERTEX or prev == NULL_VERTEX:
+                    continue
+                assert (v == roots[s]
+                        or medium_graph.has_edge(int(prev), int(v)))
+
+    def test_walks_never_die(self, medium_graph):
+        """Restarting on dead ends keeps every walk alive to the end."""
+        result = NextDoorEngine().run(RWR(restart_prob=0.1,
+                                          walk_length=30),
+                                      medium_graph, num_samples=128,
+                                      seed=0)
+        walks = result.get_final_samples()
+        assert (walks[:, -1] != NULL_VERTEX).all()
+
+
+class TestMHRW:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MHRW(walk_length=0)
+
+    def test_transitions_are_edges_or_self(self, medium_graph):
+        result = NextDoorEngine().run(MHRW(walk_length=15), medium_graph,
+                                      num_samples=64, seed=0)
+        walks = result.get_final_samples()
+        roots = result.batch.roots[:, 0]
+        full = np.concatenate([roots[:, None], walks], axis=1)
+        for s in range(64):
+            for j in range(1, full.shape[1]):
+                v, prev = full[s, j], full[s, j - 1]
+                if v == NULL_VERTEX or prev == NULL_VERTEX:
+                    continue
+                assert (v == prev
+                        or medium_graph.has_edge(int(prev), int(v)))
+
+    def test_corrects_degree_bias(self, medium_graph):
+        """A plain walk's position distribution is proportional to
+        degree; MHRW's is uniform.  After mixing, MHRW positions must
+        sit at markedly lower average degree."""
+        plain = NextDoorEngine().run(DeepWalk(walk_length=60),
+                                     medium_graph,
+                                     num_samples=1500, seed=0)
+        mh = NextDoorEngine().run(MHRW(walk_length=60), medium_graph,
+                                  num_samples=1500, seed=0)
+        degs = medium_graph.degrees()
+
+        def mean_final_degree(result):
+            final = result.get_final_samples()[:, -1]
+            final = final[final != NULL_VERTEX]
+            return degs[final].mean()
+
+        assert mean_final_degree(mh) < 0.6 * mean_final_degree(plain)
+
+    def test_rejections_self_loop(self, star_graph):
+        """From a leaf (degree 1) to the hub (degree 32), the MH
+        acceptance is 1/32: most steps stay at the leaf."""
+        result = NextDoorEngine().run(
+            MHRW(walk_length=1), star_graph,
+            roots=np.full((2000, 1), 1, dtype=np.int64), seed=0)
+        first = result.get_final_samples()[:, 0]
+        stayed = (first == 1).mean()
+        assert stayed > 0.9
+
+
+class TestWeightedNode2Vec:
+    def test_weight_bias_applied(self, rng):
+        """With neutral p=q=1, weighted node2vec reduces to the
+        weight-biased walk: a 9:1 edge pair splits ~90/10."""
+        from repro.api.apps import Node2Vec
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2), (1, 0), (2, 0)],
+                                weights=[9.0, 1.0, 1.0, 1.0])
+        app = Node2Vec(p=1.0, q=1.0)
+        transits = np.zeros(4000, dtype=np.int64)
+        out, _ = app.sample_neighbors(g, transits, 0, rng,
+                                      prev_transits=None)
+        frac = (out[:, 0] == 1).mean()
+        assert 0.8 < frac < 0.97
+
+    def test_reference_weighted_agrees(self, rng):
+        from repro.api.app import SamplingApp
+        from repro.api.apps import Node2Vec
+        from repro.api.sample import SampleBatch
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2), (1, 0), (2, 0)],
+                                weights=[4.0, 1.0, 1.0, 1.0])
+        app = Node2Vec(p=1.0, q=1.0)
+        transits = np.zeros(3000, dtype=np.int64)
+        batch = SampleBatch(g, np.zeros((3000, 1), np.int64))
+        ref, _ = SamplingApp.sample_neighbors(
+            app, g, transits, 0, rng, batch=batch,
+            sample_ids=np.arange(3000))
+        fast, _ = app.sample_neighbors(g, transits, 0, rng)
+        assert abs((ref == 1).mean() - (fast == 1).mean()) < 0.06
+
+
+class TestRowMaxWeight:
+    def test_matches_scalar(self, medium_weighted):
+        row_max = medium_weighted.row_max_weight()
+        for v in range(0, medium_weighted.num_vertices, 97):
+            assert row_max[v] == pytest.approx(
+                medium_weighted.max_edge_weight(v))
+
+    def test_empty_rows_zero(self):
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(4, [(0, 1)], weights=[2.0])
+        row_max = g.row_max_weight()
+        assert row_max[0] == 2.0
+        assert row_max[2] == 0.0
+
+    def test_unweighted_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.row_max_weight()

@@ -1,0 +1,105 @@
+"""k-hop neighborhood sampling (GraphSAGE) and MVS."""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import KHop, MVS
+from repro.api.types import NULL_VERTEX, OutputFormat
+from repro.core.engine import NextDoorEngine
+
+
+class TestKHop:
+    def test_parameters_validate(self):
+        with pytest.raises(ValueError):
+            KHop(fanouts=())
+        with pytest.raises(ValueError):
+            KHop(fanouts=(25, 0))
+
+    def test_output_format_per_step(self):
+        assert KHop().output_format is OutputFormat.PER_STEP
+
+    def test_step_shapes(self, medium_graph):
+        result = NextDoorEngine().run(KHop((5, 3)), medium_graph,
+                                      num_samples=32, seed=0)
+        hops = result.get_final_samples()
+        assert len(hops) == 2
+        assert hops[0].shape == (32, 5)
+        assert hops[1].shape == (32, 15)
+
+    def test_paper_fanouts_default(self):
+        app = KHop()
+        assert app.sample_size(0) == 25
+        assert app.sample_size(1) == 10
+
+    def test_hop1_vertices_are_root_neighbors(self, medium_graph):
+        result = NextDoorEngine().run(KHop((5, 3)), medium_graph,
+                                      num_samples=32, seed=0)
+        hop1 = result.get_final_samples()[0]
+        roots = result.batch.roots[:, 0]
+        for s in range(32):
+            nbrs = set(medium_graph.neighbors(int(roots[s])).tolist())
+            for v in hop1[s]:
+                if v != NULL_VERTEX:
+                    assert int(v) in nbrs
+
+    def test_hop2_vertices_are_hop1_neighbors(self, medium_graph):
+        result = NextDoorEngine().run(KHop((5, 3)), medium_graph,
+                                      num_samples=16, seed=0)
+        hop1, hop2 = result.get_final_samples()
+        for s in range(16):
+            for t_idx in range(5):
+                t = hop1[s, t_idx]
+                block = hop2[s, t_idx * 3:(t_idx + 1) * 3]
+                if t == NULL_VERTEX:
+                    assert (block == NULL_VERTEX).all()
+                    continue
+                nbrs = set(medium_graph.neighbors(int(t)).tolist())
+                for v in block:
+                    if v != NULL_VERTEX:
+                        assert int(v) in nbrs
+
+    def test_unique_flag_dedups_per_sample(self, star_graph):
+        # Every hop-1 vertex of the star's center is one of 32 leaves;
+        # with fanout 16 and unique=True no sample repeats a vertex.
+        result = NextDoorEngine().run(
+            KHop((16,), unique_per_step=True), star_graph,
+            roots=np.zeros((8, 1), dtype=np.int64), seed=0)
+        hop = result.get_final_samples()[0]
+        for row in hop:
+            live = row[row != NULL_VERTEX]
+            assert np.unique(live).size == live.size
+
+    def test_uniform_coverage(self, star_graph, rng):
+        app = KHop((8,))
+        transits = np.zeros(4000, dtype=np.int64)
+        out, _ = app.sample_neighbors(star_graph, transits, 0, rng)
+        counts = np.bincount(out.ravel(), minlength=33)[1:]
+        assert counts.min() > 0.5 * counts.mean()
+
+
+class TestMVS:
+    def test_parameters_validate(self):
+        with pytest.raises(ValueError):
+            MVS(batch_size=0)
+
+    def test_batch_roots(self, medium_graph):
+        result = NextDoorEngine().run(MVS(batch_size=16), medium_graph,
+                                      num_samples=8, seed=0)
+        assert result.batch.roots.shape == (8, 16)
+
+    def test_single_step(self, medium_graph):
+        result = NextDoorEngine().run(MVS(batch_size=16), medium_graph,
+                                      num_samples=8, seed=0)
+        assert result.steps_run == 1
+        assert len(result.get_final_samples()) == 1
+
+    def test_one_hop_validity(self, medium_graph):
+        result = NextDoorEngine().run(MVS(batch_size=8), medium_graph,
+                                      num_samples=8, seed=0)
+        hop = result.get_final_samples()[0]
+        roots = result.batch.roots
+        for s in range(8):
+            for j in range(8):
+                v = hop[s, j]
+                if v != NULL_VERTEX:
+                    assert medium_graph.has_edge(int(roots[s, j]), int(v))

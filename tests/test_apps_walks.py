@@ -1,0 +1,198 @@
+"""Random-walk applications: correctness of the sampled distributions."""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import DeepWalk, MultiRW, Node2Vec, PPR
+from repro.api.types import NULL_VERTEX, SamplingType
+from repro.core.engine import NextDoorEngine
+
+
+def walk_edges_valid(graph, roots, walks):
+    """Every consecutive (non-NULL) pair in a walk must be an edge."""
+    full = np.concatenate([roots, walks], axis=1)
+    for row in full:
+        prev = None
+        for v in row:
+            if v == NULL_VERTEX:
+                break
+            if prev is not None:
+                assert graph.has_edge(int(prev), int(v)), (prev, v)
+            prev = v
+
+
+class TestDeepWalk:
+    def test_parameters_validate(self):
+        with pytest.raises(ValueError):
+            DeepWalk(walk_length=0)
+
+    def test_walk_is_a_path(self, medium_graph):
+        result = NextDoorEngine().run(DeepWalk(walk_length=12),
+                                      medium_graph, num_samples=64, seed=0)
+        walk_edges_valid(medium_graph, result.batch.roots,
+                         result.get_final_samples())
+
+    def test_walk_length(self, medium_graph):
+        result = NextDoorEngine().run(DeepWalk(walk_length=12),
+                                      medium_graph, num_samples=64, seed=0)
+        assert result.get_final_samples().shape == (64, 12)
+
+    def test_weighted_bias(self, rng):
+        """On a 2-neighbor vertex with weights 9:1, the heavy edge is
+        taken ~90% of the time."""
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2), (1, 0), (2, 0)],
+                                weights=[9.0, 1.0, 1.0, 1.0])
+        app = DeepWalk(walk_length=1)
+        transits = np.zeros(4000, dtype=np.int64)
+        out, _ = app.sample_neighbors(g, transits, 0, rng)
+        frac = (out[:, 0] == 1).mean()
+        assert 0.85 < frac < 0.95
+
+    def test_unweighted_uniform(self, rng, star_graph):
+        app = DeepWalk(walk_length=1)
+        transits = np.zeros(6400, dtype=np.int64)
+        out, _ = app.sample_neighbors(star_graph, transits, 0, rng)
+        counts = np.bincount(out[:, 0], minlength=33)[1:]
+        assert counts.min() > 0.5 * counts.mean()
+
+    def test_reference_matches_distribution(self, tiny_weighted, rng):
+        app = DeepWalk(walk_length=1)
+        transits = np.zeros(3000, dtype=np.int64)
+        fast, _ = app.sample_neighbors(tiny_weighted, transits, 0, rng)
+        from repro.api.sample import SampleBatch
+        batch = SampleBatch(tiny_weighted, np.zeros((3000, 1), np.int64))
+        from repro.api.app import SamplingApp
+        ref, _ = SamplingApp.sample_neighbors(
+            app, tiny_weighted, transits, 0, rng, batch=batch,
+            sample_ids=np.arange(3000))
+        for v in tiny_weighted.neighbors(0):
+            fast_frac = (fast == v).mean()
+            ref_frac = (ref == v).mean()
+            assert abs(fast_frac - ref_frac) < 0.06
+
+
+class TestPPR:
+    def test_parameters_validate(self):
+        with pytest.raises(ValueError):
+            PPR(termination_prob=0.0)
+        with pytest.raises(ValueError):
+            PPR(termination_prob=1.5)
+
+    def test_walks_terminate(self, medium_graph):
+        result = NextDoorEngine().run(PPR(termination_prob=0.2,
+                                          max_steps=200),
+                                      medium_graph, num_samples=256, seed=0)
+        assert result.steps_run < 200
+
+    def test_mean_length_matches_termination(self, medium_graph):
+        result = NextDoorEngine().run(PPR(termination_prob=0.2,
+                                          max_steps=300),
+                                      medium_graph, num_samples=2000, seed=0)
+        walks = result.get_final_samples()
+        lengths = (walks != NULL_VERTEX).sum(axis=1)
+        # Geometric with p=0.2: mean 1/p = 5 (zero-degree deaths push
+        # it slightly lower).
+        assert 2.5 < lengths.mean() < 6.0
+
+    def test_dead_walks_stay_dead(self, medium_graph):
+        result = NextDoorEngine().run(PPR(termination_prob=0.3,
+                                          max_steps=100),
+                                      medium_graph, num_samples=256, seed=0)
+        walks = result.get_final_samples()
+        for row in walks:
+            seen_null = False
+            for v in row:
+                if v == NULL_VERTEX:
+                    seen_null = True
+                elif seen_null:
+                    pytest.fail("walk resurrected after termination")
+
+    def test_steps_return_inf(self):
+        from repro.api.types import INF_STEPS
+        assert PPR().steps() == INF_STEPS
+
+
+class TestNode2Vec:
+    def test_parameters_validate(self):
+        with pytest.raises(ValueError):
+            Node2Vec(p=0.0)
+        with pytest.raises(ValueError):
+            Node2Vec(q=-1.0)
+
+    def test_walk_is_a_path(self, medium_graph):
+        result = NextDoorEngine().run(Node2Vec(walk_length=10),
+                                      medium_graph, num_samples=64, seed=0)
+        walk_edges_valid(medium_graph, result.batch.roots,
+                         result.get_final_samples())
+
+    def test_needs_prev_transits(self):
+        assert Node2Vec().needs_prev_transits
+
+    def test_info_reports_rejection_work(self, medium_graph, rng):
+        app = Node2Vec(p=2.0, q=0.5)
+        transits = rng.integers(0, medium_graph.num_vertices, 512)
+        prev = rng.integers(0, medium_graph.num_vertices, 512)
+        out, info = app.sample_neighbors(medium_graph, transits, 1, rng,
+                                         prev_transits=prev)
+        assert info.neighbor_reads_per_vertex >= 1.0
+        assert info.extra_global_reads_per_vertex > 0.0
+
+    def test_backtrack_bias(self, rng):
+        """The paper's case (i): ``u == t`` carries probability ``p``,
+        so large p means frequent backtracking, small p rare."""
+        from repro.graph.csr import CSRGraph
+        # Transit 1 has neighbors {0, 2, 3, 4, 5}; previous transit 0.
+        edges = [(1, 0), (1, 2), (1, 3), (1, 4), (1, 5)]
+        g = CSRGraph.from_edges(6, edges, undirected=True)
+        transits = np.full(4000, 1, dtype=np.int64)
+        prev = np.zeros(4000, dtype=np.int64)
+        biased = Node2Vec(p=50.0, q=1.0)
+        out, _ = biased.sample_neighbors(g, transits, 1, rng,
+                                         prev_transits=prev)
+        backtrack_hi = (out[:, 0] == 0).mean()
+        avoider = Node2Vec(p=0.02, q=1.0)
+        out2, _ = avoider.sample_neighbors(g, transits, 1, rng,
+                                           prev_transits=prev)
+        backtrack_lo = (out2[:, 0] == 0).mean()
+        # Uniform would give 0.2; the bias pulls far away on each side.
+        assert backtrack_hi > 0.5
+        assert backtrack_lo < 0.1
+        assert backtrack_lo < backtrack_hi
+
+    def test_first_step_uniform(self, star_graph, rng):
+        app = Node2Vec()
+        transits = np.zeros(3200, dtype=np.int64)
+        out, _ = app.sample_neighbors(star_graph, transits, 0, rng,
+                                      prev_transits=None)
+        assert (out != NULL_VERTEX).all()
+
+
+class TestMultiRW:
+    def test_parameters_validate(self):
+        with pytest.raises(ValueError):
+            MultiRW(num_roots=0)
+
+    def test_roots_per_sample(self, medium_graph):
+        result = NextDoorEngine().run(MultiRW(num_roots=7, walk_length=5),
+                                      medium_graph, num_samples=16, seed=0)
+        assert result.batch.roots.shape == (16, 7)
+
+    def test_sampled_vertex_replaces_root(self, medium_graph):
+        app = MultiRW(num_roots=5, walk_length=10)
+        result = NextDoorEngine().run(app, medium_graph, num_samples=32,
+                                      seed=0)
+        live = result.batch.state["roots"]
+        original = result.batch.roots
+        # After 10 steps the live root set differs from the original.
+        assert not np.array_equal(live, original)
+        assert live.shape == original.shape
+
+    def test_transits_come_from_live_roots(self, medium_graph, rng):
+        from repro.core import stepper
+        app = MultiRW(num_roots=5, walk_length=3)
+        batch = stepper.init_batch(app, medium_graph, 16, None, rng)
+        transits = app.transits_for_step(batch, 0)
+        roots = batch.state["roots"]
+        for s in range(16):
+            assert transits[s, 0] in roots[s]

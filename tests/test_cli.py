@@ -1,0 +1,113 @@
+"""Command-line interface."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sample", "--app", "bogus"])
+
+    def test_unknown_graph_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sample", "--app", "DeepWalk",
+                                       "--graph", "bogus"])
+
+
+class TestDatasets:
+    def test_lists_table3(self):
+        code, out = run_cli(["datasets"])
+        assert code == 0
+        for abrv in ("PPI", "Orkut", "FriendS"):
+            assert abrv in out
+
+
+class TestSample:
+    def test_basic_run(self):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "64",
+                             "--seed", "1"])
+        assert code == 0
+        assert "modeled time" in out
+        assert "scheduling_index" in out
+
+    def test_save_npz(self, tmp_path):
+        path = str(tmp_path / "out.npz")
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "32",
+                             "--out", path])
+        assert code == 0
+        data = np.load(path)
+        assert data["samples"].shape == (32, 100)
+        assert data["roots"].shape == (32, 1)
+
+    def test_save_per_step_npz(self, tmp_path):
+        path = str(tmp_path / "hops.npz")
+        code, _ = run_cli(["sample", "--app", "k-hop", "--graph", "ppi",
+                           "--samples", "16", "--out", path])
+        assert code == 0
+        data = np.load(path)
+        assert data["hop0"].shape == (16, 25)
+        assert data["hop1"].shape == (16, 250)
+
+    def test_engine_choice(self):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "32",
+                             "--engine", "knightking"])
+        assert code == 0
+        assert "KnightKing" in out
+
+    def test_unsupported_combination_reports_error(self):
+        code, out = run_cli(["sample", "--app", "k-hop", "--graph", "ppi",
+                             "--samples", "8", "--engine", "knightking"])
+        assert code == 2
+        assert "error" in out
+
+    def test_devices_flag(self):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "64",
+                             "--devices", "4"])
+        assert code == 0
+
+    def test_devices_rejected_for_cpu_engine(self):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "8",
+                             "--engine", "knightking", "--devices", "4"])
+        assert code == 2
+
+
+class TestCompare:
+    def test_table_printed(self):
+        code, out = run_cli(["compare", "--apps", "k-hop",
+                             "--graph", "ppi"])
+        assert code == 0
+        assert "NextDoor" in out
+        assert "KnightKing" in out
+        assert "n/a" in out  # KnightKing can't run k-hop
+
+
+class TestBenchAndTrain:
+    def test_bench_lists(self):
+        code, out = run_cli(["bench"])
+        assert code == 0
+
+    def test_train_runs(self):
+        code, out = run_cli(["train", "--graph", "ppi", "--epochs", "1",
+                             "--batch-size", "1024"])
+        assert code == 0
+        assert "epoch 0" in out

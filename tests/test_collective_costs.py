@@ -1,0 +1,119 @@
+"""Collective-sampling and dedup cost modules, charged in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.api.types import StepInfo
+from repro.core.collective import (
+    charge_collective_selection,
+    charge_combined_neighborhood_sp,
+    charge_combined_neighborhood_tp,
+    charge_edge_recording,
+)
+from repro.core.transit_map import build_transit_map
+from repro.core.unique import charge_dedup, dedupe_rows
+from repro.gpu.device import Device
+
+
+def make_tmap(counts):
+    if not counts:
+        return build_transit_map(np.zeros((0, 1), dtype=np.int64))
+    transits = np.concatenate([
+        np.full(c, i, dtype=np.int64) for i, c in enumerate(counts)])
+    return build_transit_map(transits[:, None])
+
+
+class TestCombinedNeighborhoodCosts:
+    def test_tp_cheaper_than_sp(self):
+        """The transit-parallel construction reads each adjacency once;
+        sample-parallel re-reads it per pair — the Section 6.2 claim."""
+        counts = [50] * 20
+        degrees = np.full(20, 64, dtype=np.int64)
+        tp_dev = Device()
+        charge_combined_neighborhood_tp(tp_dev, make_tmap(counts), degrees)
+        sp_dev = Device()
+        pair_degrees = np.repeat(degrees, counts)
+        charge_combined_neighborhood_sp(sp_dev, make_tmap(counts),
+                                        pair_degrees)
+        assert sp_dev.elapsed_seconds > tp_dev.elapsed_seconds
+        assert (sp_dev.metrics.counters.global_load_transactions
+                > 3 * tp_dev.metrics.counters.global_load_transactions)
+
+    def test_tp_empty(self):
+        d = Device()
+        charge_combined_neighborhood_tp(
+            d, make_tmap([]), np.zeros(0, dtype=np.int64))
+        assert d.elapsed_seconds == 0.0
+
+    def test_sp_empty(self):
+        d = Device()
+        charge_combined_neighborhood_sp(
+            d, make_tmap([]), np.zeros(0, dtype=np.int64))
+        assert d.elapsed_seconds == 0.0
+
+    def test_tp_scales_with_volume(self):
+        small = Device()
+        charge_combined_neighborhood_tp(
+            small, make_tmap([10] * 100),
+            np.full(100, 16, dtype=np.int64))
+        large = Device()
+        charge_combined_neighborhood_tp(
+            large, make_tmap([10] * 100),
+            np.full(100, 1600, dtype=np.int64))
+        assert large.elapsed_seconds > 5 * small.elapsed_seconds
+
+
+class TestSelectionAndRecording:
+    def test_selection_scales_with_samples(self):
+        a = Device()
+        charge_collective_selection(a, 100, 64, StepInfo())
+        b = Device()
+        charge_collective_selection(b, 10000, 64, StepInfo())
+        assert b.elapsed_seconds > a.elapsed_seconds
+
+    def test_selection_zero_free(self):
+        d = Device()
+        charge_collective_selection(d, 0, 64, StepInfo())
+        charge_collective_selection(d, 64, 0, StepInfo())
+        assert d.elapsed_seconds == 0.0
+
+    def test_edge_recording_scales(self):
+        a = Device()
+        charge_edge_recording(a, 1000)
+        b = Device()
+        charge_edge_recording(b, 1_000_000)
+        assert b.elapsed_seconds > 10 * a.elapsed_seconds
+
+    def test_edge_recording_zero_free(self):
+        d = Device()
+        charge_edge_recording(d, 0)
+        assert d.elapsed_seconds == 0.0
+
+
+class TestDedupCosts:
+    def test_charged_to_sampling_phase(self):
+        d = Device()
+        charge_dedup(d, 100, 64)
+        assert d.timeline.total_seconds(phase="sampling") > 0
+
+    def test_width_one_free(self):
+        d = Device()
+        charge_dedup(d, 100, 1)
+        assert d.elapsed_seconds == 0.0
+
+    def test_large_rows_fall_back_to_global(self):
+        small = Device()
+        charge_dedup(small, 4, 512)
+        large = Device()
+        # 32k words x 8B > 48KB shared memory: device-wide sort path.
+        charge_dedup(large, 4, 32768)
+        per_elem_small = small.elapsed_seconds / (4 * 512)
+        per_elem_large = large.elapsed_seconds / (4 * 32768)
+        assert per_elem_large > per_elem_small
+
+    def test_functional_dedupe_counts(self):
+        rows = np.array([[1, 1, 2], [3, 4, 5]])
+        out, dups = dedupe_rows(rows)
+        assert dups == 1
+        assert out[0, 0] == 1 and out[0, 1] == -1
+        assert list(out[1]) == [3, 4, 5]

@@ -1,0 +1,55 @@
+"""Multicore CPU cost model."""
+
+import pytest
+
+from repro.gpu.cpu_model import CpuDevice, CpuTask
+from repro.gpu.spec import CPUSpec
+
+
+class TestCpuTask:
+    def test_cycles_per_unit(self):
+        spec = CPUSpec()
+        task = CpuTask(ops=10, random_accesses=2, sequential_bytes=128)
+        expected = (10 * spec.op_cycles
+                    + 2 * spec.random_access_cycles
+                    + 2 * spec.sequential_line_cycles)
+        assert task.cycles_per_unit(spec) == pytest.approx(expected)
+
+    def test_empty_task(self):
+        assert CpuTask().cycles_per_unit(CPUSpec()) == 0.0
+
+
+class TestCpuDevice:
+    def test_parallel_uses_cores(self):
+        spec = CPUSpec(cores=16)
+        cpu = CpuDevice(spec)
+        seconds = cpu.run([CpuTask(ops=1600, count=1000)])
+        serial = CpuDevice(spec).run([CpuTask(ops=1600, count=1000)],
+                                     parallel=False)
+        assert serial == pytest.approx(16 * seconds)
+
+    def test_span_bound(self):
+        # One enormous task cannot be split across cores.
+        spec = CPUSpec(cores=16)
+        cpu = CpuDevice(spec)
+        seconds = cpu.run([CpuTask(ops=1e9, count=1)])
+        assert seconds == pytest.approx(spec.seconds(1e9))
+
+    def test_timeline_accumulates(self):
+        cpu = CpuDevice()
+        cpu.run([CpuTask(ops=100, count=10)], name="a")
+        cpu.run([CpuTask(ops=100, count=10)], name="b")
+        assert len(cpu.timeline.entries) == 2
+        assert cpu.elapsed_seconds > 0
+
+    def test_reset(self):
+        cpu = CpuDevice()
+        cpu.run([CpuTask(ops=100, count=10)])
+        cpu.reset()
+        assert cpu.elapsed_seconds == 0.0
+
+    def test_random_access_dominates_ops(self):
+        spec = CPUSpec()
+        mem = CpuDevice(spec).run([CpuTask(random_accesses=10, count=100)])
+        cmp = CpuDevice(spec).run([CpuTask(ops=10, count=100)])
+        assert mem > cmp

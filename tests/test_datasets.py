@@ -1,0 +1,78 @@
+"""Dataset registry: calibration of the Table 3 stand-ins."""
+
+import pytest
+
+from repro.graph import datasets
+
+
+class TestRegistry:
+    def test_names_cover_table3(self):
+        names = datasets.names()
+        for key in ("ppi", "orkut", "patents", "livej", "friendster"):
+            assert key in names
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            datasets.load("imaginary")
+
+    def test_friendster_flagged_out_of_memory(self):
+        assert not datasets.SPECS["friendster"].fits_in_gpu
+        assert datasets.SPECS["orkut"].fits_in_gpu
+
+    def test_scaled_memory_bytes_paper_scale(self):
+        friends = datasets.scaled_memory_bytes("friendster")
+        assert friends > 14e9  # 1.8B edges x 8B: exceeds a 16GB V100
+        assert datasets.scaled_memory_bytes("ppi") < 1e9
+
+
+class TestLoad:
+    def test_caching_returns_same_object(self):
+        a = datasets.load("ppi", seed=0)
+        b = datasets.load("ppi", seed=0)
+        assert a is b
+
+    def test_seed_changes_graph(self):
+        a = datasets.load("ppi", seed=0)
+        b = datasets.load("ppi", seed=42)
+        assert a is not b
+        assert not (a == b)
+
+    def test_weighted_variant(self):
+        g = datasets.load("ppi", seed=0, weighted=True)
+        assert g.is_weighted
+        assert (g.weights >= 1.0).all() and (g.weights < 5.0).all()
+
+    def test_avg_degree_matches_paper(self):
+        for name in ("ppi", "orkut", "patents", "livej"):
+            g = datasets.load(name, seed=0)
+            spec = datasets.SPECS[name]
+            assert g.avg_degree == pytest.approx(spec.avg_degree, rel=0.45), name
+
+    def test_relative_ordering_preserved(self):
+        sizes = {name: datasets.load(name, seed=0).num_vertices
+                 for name in ("ppi", "orkut", "livej", "friendster")}
+        assert sizes["ppi"] <= sizes["orkut"] <= sizes["livej"] \
+            <= sizes["friendster"]
+
+    def test_node_floor(self):
+        assert datasets.load("ppi", seed=0).num_vertices >= 4000
+
+    def test_scale_override(self):
+        g = datasets.load("orkut", seed=0, scale=600)
+        assert g.num_vertices == 3_000_000 // 600
+
+
+class TestRows:
+    def test_paper_row(self):
+        row = datasets.paper_row("orkut")
+        assert row["nodes"] == 3_000_000
+        assert row["avg_degree"] == 39.0
+
+    def test_measured_row(self):
+        row = datasets.measured_row("ppi", seed=0)
+        assert row["nodes"] >= 4000
+        assert row["max_degree"] > row["avg_degree"]
+
+    def test_load_clustered(self):
+        g = datasets.load_clustered("ppi", num_clusters=8, seed=0)
+        assert g.num_vertices == datasets.SPECS["ppi"].nodes

@@ -1,0 +1,113 @@
+"""Cross-engine distribution equivalence.
+
+The paper's comparison only means something because every system
+produces the *same samples* (statistically) — the engines differ in
+execution strategy, not output.  These tests pin that property: for
+each application, the marginal distributions produced by NextDoor, SP,
+TP, KnightKing and the reference engine must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import DeepWalk, KHop, Layer, PPR
+from repro.api.types import NULL_VERTEX
+from repro.baselines import (
+    FrontierEngine,
+    KnightKingEngine,
+    MessagePassingEngine,
+    ReferenceSamplerEngine,
+    SampleParallelEngine,
+    VanillaTPEngine,
+)
+from repro.core.engine import NextDoorEngine
+
+ALL_ENGINES = [NextDoorEngine, SampleParallelEngine, VanillaTPEngine,
+               FrontierEngine, MessagePassingEngine,
+               ReferenceSamplerEngine]
+
+
+def first_step_distribution(engine_cls, app, graph, roots, seed):
+    r = engine_cls().run(app, graph, roots=roots, seed=seed)
+    samples = r.get_final_samples()
+    if isinstance(samples, list):
+        first = samples[0].ravel()
+    else:
+        first = samples[:, 0]
+    first = first[first != NULL_VERTEX]
+    return np.bincount(first, minlength=graph.num_vertices) / first.size
+
+
+class TestFirstStepMarginals:
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_deepwalk_marginal_matches_nextdoor(self, engine_cls,
+                                                tiny_weighted):
+        roots = np.zeros((4000, 1), dtype=np.int64)
+        base = first_step_distribution(NextDoorEngine, DeepWalk(1),
+                                       tiny_weighted, roots, seed=1)
+        other = first_step_distribution(engine_cls, DeepWalk(1),
+                                        tiny_weighted, roots, seed=2)
+        # Total variation distance between the two empirical marginals.
+        tv = 0.5 * np.abs(base - other).sum()
+        assert tv < 0.05, engine_cls.__name__
+
+    def test_knightking_marginal_matches(self, tiny_weighted):
+        roots = np.zeros((4000, 1), dtype=np.int64)
+        base = first_step_distribution(NextDoorEngine, DeepWalk(1),
+                                       tiny_weighted, roots, seed=1)
+        kk = first_step_distribution(KnightKingEngine, DeepWalk(1),
+                                     tiny_weighted, roots, seed=2)
+        assert 0.5 * np.abs(base - kk).sum() < 0.05
+
+
+class TestVisitFrequencies:
+    @pytest.mark.parametrize("engine_cls",
+                             [SampleParallelEngine, VanillaTPEngine])
+    def test_walk_occupancy_agrees(self, engine_cls, medium_graph):
+        """After a longer walk, per-vertex visit frequencies agree in
+        aggregate: compare the mean degree of visited vertices."""
+        degs = medium_graph.degrees()
+
+        def mean_visit_degree(engine):
+            r = engine.run(DeepWalk(20), medium_graph,
+                           num_samples=800, seed=5)
+            visited = r.get_final_samples().ravel()
+            visited = visited[visited != NULL_VERTEX]
+            return degs[visited].mean()
+
+        nd = mean_visit_degree(NextDoorEngine())
+        other = mean_visit_degree(engine_cls())
+        assert other == pytest.approx(nd, rel=0.1)
+
+    def test_ppr_lengths_agree(self, medium_graph):
+        def mean_length(engine):
+            r = engine.run(PPR(termination_prob=0.15, max_steps=120),
+                           medium_graph, num_samples=1200, seed=3)
+            walks = r.get_final_samples()
+            return (walks != NULL_VERTEX).sum(axis=1).mean()
+
+        nd = mean_length(NextDoorEngine())
+        kk = mean_length(KnightKingEngine())
+        assert kk == pytest.approx(nd, rel=0.15)
+
+    def test_khop_coverage_agrees(self, medium_graph):
+        def hop2_mean_degree(engine):
+            r = engine.run(KHop((10, 5)), medium_graph,
+                           num_samples=300, seed=4)
+            hop2 = r.get_final_samples()[1].ravel()
+            hop2 = hop2[hop2 != NULL_VERTEX]
+            return medium_graph.degrees()[hop2].mean()
+
+        nd = hop2_mean_degree(NextDoorEngine())
+        ref = hop2_mean_degree(ReferenceSamplerEngine())
+        assert ref == pytest.approx(nd, rel=0.1)
+
+    def test_layer_sample_sizes_agree(self, medium_graph):
+        def sizes(engine):
+            r = engine.run(Layer(step_size=20, max_size=60),
+                           medium_graph, num_samples=64, seed=2)
+            return (r.get_final_samples() != NULL_VERTEX).sum(axis=1).mean()
+
+        nd = sizes(NextDoorEngine())
+        sp = sizes(SampleParallelEngine())
+        assert sp == pytest.approx(nd, rel=0.15)

@@ -1,0 +1,115 @@
+"""Property-based tests over whole engine runs (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.apps import DeepWalk, KHop, Layer, PPR
+from repro.api.types import NULL_VERTEX
+from repro.core.engine import NextDoorEngine
+from repro.graph.csr import CSRGraph
+
+
+@st.composite
+def run_configs(draw):
+    n = draw(st.integers(4, 30))
+    num_edges = draw(st.integers(3, 80))
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 31)))
+    src = rng.integers(0, n, size=num_edges)
+    dst = rng.integers(0, n, size=num_edges)
+    keep = src != dst
+    edges = np.stack([src[keep], dst[keep]], axis=1)
+    graph = CSRGraph.from_edges(n, edges, undirected=True)
+    seed = draw(st.integers(0, 2 ** 31))
+    samples = draw(st.integers(1, 12))
+    return graph, seed, samples
+
+
+def assert_valid_output(graph, result):
+    out = result.get_final_samples()
+    arrays = out if isinstance(out, list) else [out]
+    for arr in arrays:
+        live = arr[arr != NULL_VERTEX]
+        if live.size:
+            assert live.min() >= 0
+            assert live.max() < graph.num_vertices
+
+
+class TestEngineRunProperties:
+    @given(run_configs(), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_deepwalk_output_always_valid(self, config, length):
+        graph, seed, samples = config
+        if graph.non_isolated_vertices().size == 0:
+            return
+        result = NextDoorEngine().run(DeepWalk(length), graph,
+                                      num_samples=samples, seed=seed)
+        assert_valid_output(graph, result)
+        assert result.get_final_samples().shape == (samples, length)
+        assert result.seconds > 0
+
+    @given(run_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_khop_output_always_valid(self, config):
+        graph, seed, samples = config
+        if graph.non_isolated_vertices().size == 0:
+            return
+        result = NextDoorEngine().run(KHop((3, 2)), graph,
+                                      num_samples=samples, seed=seed)
+        assert_valid_output(graph, result)
+        hops = result.get_final_samples()
+        assert hops[0].shape == (samples, 3)
+        assert hops[1].shape == (samples, 6)
+
+    @given(run_configs())
+    @settings(max_examples=20, deadline=None)
+    def test_ppr_never_exceeds_cap(self, config):
+        graph, seed, samples = config
+        if graph.non_isolated_vertices().size == 0:
+            return
+        result = NextDoorEngine().run(PPR(termination_prob=0.3,
+                                          max_steps=25),
+                                      graph, num_samples=samples,
+                                      seed=seed)
+        assert result.steps_run <= 25
+        assert_valid_output(graph, result)
+
+    @given(run_configs())
+    @settings(max_examples=20, deadline=None)
+    def test_layer_respects_max_size(self, config):
+        graph, seed, samples = config
+        if graph.non_isolated_vertices().size == 0:
+            return
+        result = NextDoorEngine().run(Layer(step_size=4, max_size=10),
+                                      graph, num_samples=samples,
+                                      seed=seed)
+        assert_valid_output(graph, result)
+        out = result.get_final_samples()
+        live = (out != NULL_VERTEX).sum(axis=1)
+        assert (live <= 10 + 4).all()
+
+    @given(run_configs(), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_determinism_property(self, config, length):
+        graph, seed, samples = config
+        if graph.non_isolated_vertices().size == 0:
+            return
+        a = NextDoorEngine().run(DeepWalk(length), graph,
+                                 num_samples=samples, seed=seed)
+        b = NextDoorEngine().run(DeepWalk(length), graph,
+                                 num_samples=samples, seed=seed)
+        assert np.array_equal(a.get_final_samples(),
+                              b.get_final_samples())
+        assert a.seconds == b.seconds
+
+    @given(run_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_multi_gpu_preserves_validity(self, config):
+        graph, seed, samples = config
+        if graph.non_isolated_vertices().size == 0:
+            return
+        result = NextDoorEngine().run(DeepWalk(4), graph,
+                                      num_samples=samples, seed=seed,
+                                      num_devices=3)
+        assert result.batch.num_samples == samples
+        assert_valid_output(graph, result)

@@ -1,0 +1,57 @@
+"""Smoke tests: the fast examples must run end to end.
+
+(The two slower demos — compare_engines and large_graph_multi_gpu —
+are exercised manually / by CI at longer timeouts; their building
+blocks are covered by the benchmark suite.)
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run([sys.executable, path], capture_output=True,
+                            text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "DeepWalk" in out
+        assert "store efficiency" in out
+        assert "k-hop" in out
+
+    def test_custom_sampler(self):
+        out = run_example("custom_sampler.py")
+        assert "contract checks passed" in out
+        assert "burn_prob=0.9" in out
+
+    def test_gnn_training(self):
+        out = run_example("gnn_training.py")
+        assert "epoch 0" in out
+        assert "OOM" in out  # the ClusterGCN/Orkut cell
+
+    def test_walk_embeddings(self):
+        out = run_example("walk_embeddings.py")
+        assert "separation" in out
+
+    def test_full_pipeline(self):
+        out = run_example("full_pipeline.py", timeout=420)
+        assert "store efficiency" in out
+        assert "epoch 2" in out
+
+    def test_examples_exist(self):
+        expected = {"quickstart.py", "custom_sampler.py",
+                    "gnn_training.py", "walk_embeddings.py",
+                    "full_pipeline.py", "compare_engines.py",
+                    "large_graph_multi_gpu.py"}
+        present = set(os.listdir(EXAMPLES_DIR))
+        assert expected <= present

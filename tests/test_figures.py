@@ -1,0 +1,71 @@
+"""SVG figure rendering from archived benchmark results."""
+
+import os
+
+import pytest
+
+from repro.bench.figures import FIGURE_SPECS, bar_chart_svg, render_all
+
+
+class TestBarChart:
+    def test_valid_svg_structure(self):
+        svg = bar_chart_svg("T", ["a", "b"], {"s1": [1.0, 2.0]})
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "T" in svg
+
+    def test_one_rect_per_bar_plus_background_and_legend(self):
+        svg = bar_chart_svg("T", ["a", "b", "c"],
+                            {"s1": [1, 2, 3], "s2": [4, 5, 6]})
+        # 6 bars + 1 background + 2 legend swatches.
+        assert svg.count("<rect") == 9
+
+    def test_group_labels_present(self):
+        svg = bar_chart_svg("T", ["ppi", "orkut"], {"s": [1, 2]})
+        assert "ppi" in svg and "orkut" in svg
+
+    def test_log_scale_ticks(self):
+        svg = bar_chart_svg("T", ["a"], {"s": [1000.0]}, log_scale=True)
+        assert ">1<" in svg or ">1.00<" in svg
+        assert ">1000<" in svg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg("T", [], {"s": []})
+        with pytest.raises(ValueError):
+            bar_chart_svg("T", ["a"], {"s": [1, 2]})
+
+    def test_tooltips_carry_values(self):
+        svg = bar_chart_svg("T", ["a"], {"serie": [42.0]})
+        assert "serie / a: 42" in svg
+
+
+class TestRenderAll:
+    def test_renders_available_results(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig7a_vs_knightking.json").write_text(
+            '{"DeepWalk": {"ppi": 17.5, "livej": 31.4}}')
+        out = tmp_path / "figures"
+        written = render_all(str(results), str(out))
+        assert len(written) == 1
+        assert os.path.exists(written[0])
+        content = open(written[0]).read()
+        assert "KnightKing" in content
+
+    def test_missing_results_skipped(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        assert render_all(str(results), str(tmp_path / "f")) == []
+
+    def test_nested_inner_key(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig7c_vs_sp_tp.json").write_text(
+            '{"DeepWalk": {"ppi": {"SP": 1.5, "TP": 2.0}}}')
+        written = render_all(str(results), str(tmp_path / "f"))
+        assert len(written) == 1
+
+    def test_every_spec_has_four_fields(self):
+        for name, spec in FIGURE_SPECS.items():
+            assert len(spec) == 4, name

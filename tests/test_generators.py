@@ -1,0 +1,121 @@
+"""Graph generators: shape, determinism, and validation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    clustered_graph,
+    erdos_renyi_graph,
+    rmat_graph,
+)
+from repro.graph.partition import Partition
+
+
+class TestRMAT:
+    def test_basic_shape(self):
+        g = rmat_graph(1000, 5000, seed=0)
+        assert g.num_vertices == 1000
+        assert g.num_edges > 4000  # dedupe loses a little
+
+    def test_deterministic(self):
+        a = rmat_graph(500, 2000, seed=9)
+        b = rmat_graph(500, 2000, seed=9)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = rmat_graph(500, 2000, seed=1)
+        b = rmat_graph(500, 2000, seed=2)
+        assert not (a == b)
+
+    def test_power_law_skew(self):
+        g = rmat_graph(4000, 40000, seed=3)
+        degs = g.degrees()
+        # Power-law: the hub degree dwarfs the average.
+        assert degs.max() > 8 * degs.mean()
+
+    def test_no_self_loops(self):
+        g = rmat_graph(256, 2000, seed=4)
+        degrees = np.diff(g.indptr)
+        src = np.repeat(np.arange(g.num_vertices), degrees)
+        assert not (src == g.indices).any()
+
+    def test_no_duplicate_edges(self):
+        g = rmat_graph(256, 2000, seed=4, undirected=False)
+        degrees = np.diff(g.indptr)
+        src = np.repeat(np.arange(g.num_vertices), degrees)
+        keys = src * g.num_vertices + g.indices
+        assert np.unique(keys).size == keys.size
+
+    def test_directed_variant(self):
+        g = rmat_graph(256, 2000, seed=5, undirected=False)
+        # A directed R-MAT is asymmetric somewhere.
+        degrees = np.diff(g.indptr)
+        src = np.repeat(np.arange(g.num_vertices), degrees)
+        asym = sum(1 for u, v in zip(src[:200], g.indices[:200])
+                   if not g.has_edge(int(v), int(u)))
+        assert asym > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmat_graph(1, 10)
+        with pytest.raises(ValueError):
+            rmat_graph(100, 10, a=0.9, b=0.9, c=0.9)
+
+
+class TestErdosRenyi:
+    def test_avg_degree_close(self):
+        g = erdos_renyi_graph(4000, 10.0, seed=0)
+        assert g.avg_degree == pytest.approx(10.0, rel=0.15)
+
+    def test_no_skew(self):
+        g = erdos_renyi_graph(4000, 10.0, seed=0)
+        degs = g.degrees()
+        assert degs.max() < 5 * degs.mean()
+
+    def test_zero_degree(self):
+        g = erdos_renyi_graph(100, 0.0, seed=0)
+        assert g.num_edges == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(100, -1.0)
+
+
+class TestBarabasiAlbert:
+    def test_shape(self):
+        g = barabasi_albert_graph(500, 4, seed=0)
+        assert g.num_vertices == 500
+        assert g.avg_degree == pytest.approx(8.0, rel=0.3)
+
+    def test_preferential_attachment_skew(self):
+        g = barabasi_albert_graph(2000, 3, seed=1)
+        degs = g.degrees()
+        assert degs.max() > 5 * degs.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(10, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 5)
+
+
+class TestClustered:
+    def test_shape(self):
+        g = clustered_graph(1200, 12, seed=0)
+        assert g.num_vertices == 1200
+
+    def test_clusters_are_denser_inside(self):
+        g = clustered_graph(1200, 12, intra_degree=14.0, inter_degree=2.0,
+                            seed=0)
+        size = 1200 // 12
+        assignment = np.minimum(np.arange(1200) // size, 11)
+        cut = Partition(g, assignment, 12).edge_cut()
+        # Most edges stay inside their planted cluster.
+        assert cut < 0.45 * g.num_edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_graph(100, 0)
+        with pytest.raises(ValueError):
+            clustered_graph(10, 10)

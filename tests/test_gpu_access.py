@@ -1,0 +1,126 @@
+"""Exact access analysis, and validation of the planner's formulas."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.access import (
+    coalesced_run_segments,
+    expected_segments_random_picks,
+    segments_touched,
+    warp_transactions,
+)
+
+
+class TestSegmentsTouched:
+    def test_empty(self):
+        assert segments_touched(np.array([], dtype=np.int64)) == 0
+
+    def test_same_segment(self):
+        assert segments_touched(np.array([0, 1, 2, 3])) == 1
+
+    def test_adjacent_segments(self):
+        assert segments_touched(np.array([3, 4])) == 2
+
+    def test_duplicates_collapse(self):
+        assert segments_touched(np.array([100, 100, 101])) == 1
+
+    def test_scattered(self):
+        addrs = np.arange(32) * 1000
+        assert segments_touched(addrs) == 32
+
+
+class TestWarpTransactions:
+    def test_fully_coalesced_warp(self):
+        # 32 consecutive words = 8 segments.
+        assert warp_transactions(np.arange(32)) == 8
+
+    def test_fully_scattered_warp(self):
+        assert warp_transactions(np.arange(32) * 64) == 32
+
+    def test_two_warps_independent(self):
+        # Both warps read the SAME 8 segments, but coalescing is
+        # per-warp: 8 + 8.
+        addrs = np.concatenate([np.arange(32), np.arange(32)])
+        assert warp_transactions(addrs) == 16
+
+    def test_partial_warp(self):
+        assert warp_transactions(np.arange(4)) == 1
+
+
+class TestCoalescedRun:
+    def test_aligned(self):
+        assert coalesced_run_segments(0, 32) == 8
+
+    def test_misaligned_adds_one(self):
+        assert coalesced_run_segments(2, 32) == 9
+
+    def test_zero(self):
+        assert coalesced_run_segments(5, 0) == 0
+
+
+class TestExpectedSegments:
+    def test_zero_cases(self):
+        assert expected_segments_random_picks(0, 5) == 0.0
+        assert expected_segments_random_picks(5, 0) == 0.0
+
+    def test_one_pick_one_segment_row(self):
+        assert expected_segments_random_picks(4, 1) == pytest.approx(1.0)
+
+    def test_many_picks_saturate(self):
+        # 64-word row = 16 segments; 10k picks touch all of them.
+        assert expected_segments_random_picks(64, 10000) \
+            == pytest.approx(16.0, rel=1e-3)
+
+    def test_matches_monte_carlo(self, rng):
+        for degree, picks in [(13, 3), (40, 8), (100, 2), (7, 20)]:
+            trials = []
+            for _ in range(400):
+                draws = rng.integers(0, degree, size=picks)
+                trials.append(segments_touched(draws))
+            empirical = np.mean(trials)
+            exact = expected_segments_random_picks(degree, picks)
+            assert exact == pytest.approx(empirical, rel=0.1)
+
+
+class TestVectorisedExpectation:
+    def test_matches_scalar(self):
+        import numpy as np
+        from repro.gpu.access import expected_segments_random_picks_vec
+        degrees = np.array([13, 40, 100, 7, 4, 0])
+        picks = np.array([3, 8, 2, 20, 4, 5])
+        vec = expected_segments_random_picks_vec(degrees, picks)
+        for i in range(degrees.size):
+            assert vec[i] == pytest.approx(
+                expected_segments_random_picks(int(degrees[i]),
+                                               int(picks[i])))
+
+    def test_zero_picks_row(self):
+        import numpy as np
+        from repro.gpu.access import expected_segments_random_picks_vec
+        out = expected_segments_random_picks_vec(np.array([10, 10]),
+                                                 np.array([0, 3]))
+        assert out[0] == 0.0
+        assert out[1] > 0.0
+
+    def test_empty_arrays(self):
+        import numpy as np
+        from repro.gpu.access import expected_segments_random_picks_vec
+        out = expected_segments_random_picks_vec(
+            np.zeros(0), np.zeros(0))
+        assert out.shape == (0,)
+
+
+class TestPlannerFormulaValidity:
+    """The scheduling planner charges ``min(picks, ceil(d/4))``
+    segments per transit.  That must upper-bound the exact expectation
+    and stay within 2.5x of it across realistic regimes — otherwise
+    Figure 8's transaction ratios would be fiction."""
+
+    @pytest.mark.parametrize("degree", [2, 5, 13, 28, 39, 120, 1000])
+    @pytest.mark.parametrize("picks", [1, 2, 4, 10, 32])
+    def test_planner_bound(self, degree, picks):
+        import math
+        planner = min(picks, math.ceil(degree / 4))
+        exact = expected_segments_random_picks(degree, picks)
+        assert planner >= exact * 0.99  # upper bound (FP slack)
+        assert planner <= max(exact * 2.5, exact + 1.0)  # not wildly over

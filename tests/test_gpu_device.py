@@ -1,0 +1,81 @@
+"""Device timeline, phases, transfers, and per-phase metrics."""
+
+import pytest
+
+from repro.gpu.device import Device, Timeline, TimelineEntry
+from repro.gpu.spec import GPUSpec, V100
+from repro.gpu.warp import WarpStats
+
+
+def launch_simple(device, phase="sampling", compute=100.0):
+    kernel = device.new_kernel("k")
+    kernel.add_group(1, 1, WarpStats(device.spec).compute(compute))
+    return device.launch(kernel, phase=phase)
+
+
+class TestDevice:
+    def test_launch_records_timeline(self):
+        d = Device()
+        launch_simple(d)
+        assert len(d.timeline.entries) == 1
+        assert d.elapsed_seconds > 0
+
+    def test_seconds_conversion(self):
+        d = Device()
+        launch_simple(d, compute=V100.clock_ghz * 1e9)  # exactly 1 second
+        assert d.elapsed_seconds == pytest.approx(1.0)
+
+    def test_phase_breakdown(self):
+        d = Device()
+        launch_simple(d, phase="sampling")
+        launch_simple(d, phase="scheduling_index")
+        launch_simple(d, phase="sampling")
+        breakdown = d.timeline.phase_breakdown()
+        assert set(breakdown) == {"sampling", "scheduling_index"}
+        assert breakdown["sampling"] == pytest.approx(
+            2 * breakdown["scheduling_index"])
+
+    def test_per_phase_metrics(self):
+        d = Device()
+        launch_simple(d, phase="sampling")
+        launch_simple(d, phase="scheduling_index")
+        assert set(d.metrics_by_phase) == {"sampling", "scheduling_index"}
+
+    def test_transfer(self):
+        d = Device()
+        seconds = d.transfer(12_000_000_000)  # 12 GB at 12 GB/s
+        assert seconds == pytest.approx(1.0)
+        assert d.timeline.entries[0].kind == "transfer"
+        assert d.timeline.total_seconds(kind="transfer") == pytest.approx(1.0)
+
+    def test_reset(self):
+        d = Device()
+        launch_simple(d)
+        d.reset()
+        assert d.elapsed_seconds == 0.0
+        assert not d.metrics_by_phase
+
+    def test_custom_spec(self):
+        slow = GPUSpec(clock_ghz=0.5)
+        d = Device(slow)
+        launch_simple(d, compute=100.0)
+        fast = Device(GPUSpec(clock_ghz=2.0))
+        launch_simple(fast, compute=100.0)
+        assert d.elapsed_seconds > fast.elapsed_seconds
+
+
+class TestTimeline:
+    def test_total_seconds_filtering(self):
+        t = Timeline([
+            TimelineEntry("a", "sampling", 1.0),
+            TimelineEntry("b", "transfer", 2.0, kind="transfer"),
+        ])
+        assert t.total_seconds() == 3.0
+        assert t.total_seconds(phase="sampling") == 1.0
+        assert t.total_seconds(kind="transfer") == 2.0
+
+    def test_extend(self):
+        a = Timeline([TimelineEntry("a", "p", 1.0)])
+        b = Timeline([TimelineEntry("b", "p", 2.0)])
+        a.extend(b)
+        assert a.total_seconds() == 3.0

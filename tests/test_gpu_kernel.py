@@ -1,0 +1,122 @@
+"""Kernel cost evaluation: occupancy, work/span/bandwidth bounds."""
+
+import pytest
+
+from repro.gpu.kernel import BlockGroup, KernelSpec
+from repro.gpu.spec import GPUSpec, V100
+from repro.gpu.warp import WarpStats
+
+
+def make_warp(compute=100.0):
+    return WarpStats(V100).compute(compute)
+
+
+class TestBlockGroup:
+    def test_block_cycles_single_warp(self):
+        g = BlockGroup(1, 1, make_warp(100.0))
+        assert g.block_cycles == 100.0
+
+    def test_block_cycles_scheduler_bound(self):
+        # 8 warps share 4 schedulers: throughput bound = 8*100/4.
+        g = BlockGroup(1, 8, make_warp(100.0))
+        assert g.block_cycles == pytest.approx(200.0)
+
+    def test_serial_rounds_multiply(self):
+        g = BlockGroup(1, 1, make_warp(100.0), serial_rounds=3.0)
+        assert g.block_cycles == 300.0
+
+    def test_occupancy_warp_limited(self):
+        g = BlockGroup(1, 32, make_warp())
+        assert g.occupancy(V100) == V100.max_warps_per_sm // 32
+
+    def test_occupancy_smem_limited(self):
+        g = BlockGroup(1, 1, make_warp(),
+                       shared_mem_bytes=V100.shared_mem_per_sm // 2)
+        assert g.occupancy(V100) == 2
+
+    def test_occupancy_block_limited(self):
+        g = BlockGroup(1, 1, make_warp())
+        assert g.occupancy(V100) == V100.max_blocks_per_sm
+
+    def test_total_warps(self):
+        g = BlockGroup(4, 8, make_warp(), serial_rounds=2.0)
+        assert g.total_warps == 64
+
+
+class TestKernelSpec:
+    def test_empty_kernel(self):
+        k = KernelSpec("k", V100)
+        assert k.is_empty
+        result = k.evaluate()
+        assert result.wall_cycles == 0.0
+        assert result.is_trivial
+
+    def test_zero_blocks_ignored(self):
+        k = KernelSpec("k", V100)
+        k.add_group(0, 4, make_warp())
+        assert k.is_empty
+
+    def test_block_size_limit(self):
+        k = KernelSpec("k", V100)
+        with pytest.raises(ValueError):
+            k.add_group(1, 33, make_warp())
+
+    def test_smem_limit(self):
+        k = KernelSpec("k", V100)
+        with pytest.raises(ValueError):
+            k.add_group(1, 1, make_warp(),
+                        shared_mem_bytes=V100.shared_mem_per_block + 1)
+
+    def test_span_bound_small_launch(self):
+        # One block: the wall is that block's duration.
+        k = KernelSpec("k", V100)
+        k.add_group(1, 1, make_warp(500.0))
+        assert k.evaluate().wall_cycles == pytest.approx(500.0)
+
+    def test_throughput_bound_large_launch(self):
+        # Far more blocks than slots: work/slots dominates the span.
+        k = KernelSpec("k", V100)
+        blocks = V100.num_sms * V100.max_blocks_per_sm * 10
+        k.add_group(blocks, 1, make_warp(100.0))
+        result = k.evaluate()
+        slots = V100.num_sms * V100.max_blocks_per_sm
+        assert result.wall_cycles == pytest.approx(blocks * 100.0 / slots)
+
+    def test_imbalance_dominates(self):
+        # A single huge block sets the span no matter how small the
+        # rest is — the vanilla-TP failure mode.
+        k = KernelSpec("k", V100)
+        k.add_group(100, 1, make_warp(10.0))
+        k.add_group(1, 1, make_warp(100000.0))
+        assert k.evaluate().wall_cycles >= 100000.0
+
+    def test_bandwidth_floor(self):
+        # Tiny compute but gigantic traffic: the DRAM floor binds.
+        warp = WarpStats(V100).compute(1.0)
+        warp.counters.global_load_transactions = 1e9
+        k = KernelSpec("k", V100)
+        k.add_group(1, 1, warp)
+        expected = (1e9 * V100.transaction_bytes
+                    / V100.dram_bytes_per_cycle)
+        assert k.evaluate().wall_cycles >= expected
+
+    def test_busy_bounded_by_wall(self):
+        k = KernelSpec("k", V100)
+        k.add_group(5000, 4, make_warp(50.0))
+        result = k.evaluate()
+        assert result.sm_busy_cycles <= result.wall_cycles * V100.num_sms
+
+    def test_counters_scale_with_groups(self):
+        warp = WarpStats(V100).global_load(32)
+        k = KernelSpec("k", V100)
+        k.add_group(10, 2, warp)
+        result = k.evaluate()
+        assert result.counters.global_load_transactions == \
+            pytest.approx(8 * 10 * 2)
+
+    def test_custom_spec(self):
+        small = GPUSpec(num_sms=1, max_blocks_per_sm=1, max_warps_per_sm=4)
+        k = KernelSpec("k", small)
+        k.add_group(4, 1, WarpStats(small).compute(100.0))
+        # One slot: the four blocks serialize.
+        assert k.evaluate().wall_cycles == pytest.approx(400.0)

@@ -1,0 +1,82 @@
+"""KernelCounters / DeviceMetrics arithmetic."""
+
+import pytest
+
+from repro.gpu.metrics import DeviceMetrics, KernelCounters
+
+
+class TestKernelCounters:
+    def test_l2_reads_track_global_loads(self):
+        c = KernelCounters(global_load_transactions=10.0)
+        assert c.l2_read_transactions == 10.0
+
+    def test_store_efficiency_ideal(self):
+        c = KernelCounters(global_store_transactions=8,
+                           ideal_global_store_transactions=8)
+        assert c.store_efficiency == 1.0
+
+    def test_store_efficiency_scattered(self):
+        c = KernelCounters(global_store_transactions=32,
+                           ideal_global_store_transactions=8)
+        assert c.store_efficiency == pytest.approx(0.25)
+
+    def test_store_efficiency_no_stores(self):
+        assert KernelCounters().store_efficiency == 1.0
+
+    def test_store_efficiency_capped_at_one(self):
+        c = KernelCounters(global_store_transactions=4,
+                           ideal_global_store_transactions=8)
+        assert c.store_efficiency == 1.0
+
+    def test_divergence_rate(self):
+        c = KernelCounters(branches=10, divergent_branches=3)
+        assert c.divergence_rate == pytest.approx(0.3)
+        assert KernelCounters().divergence_rate == 0.0
+
+    def test_add(self):
+        a = KernelCounters(global_load_transactions=3, compute_cycles=5)
+        b = KernelCounters(global_load_transactions=2, compute_cycles=1)
+        a.add(b)
+        assert a.global_load_transactions == 5
+        assert a.compute_cycles == 6
+
+    def test_scaled(self):
+        c = KernelCounters(global_load_transactions=3).scaled(4)
+        assert c.global_load_transactions == 12
+
+    def test_as_dict_includes_derived(self):
+        d = KernelCounters(global_load_transactions=2).as_dict()
+        assert d["l2_read_transactions"] == 2
+        assert "store_efficiency" in d
+
+
+class TestDeviceMetrics:
+    def test_activity_full(self):
+        m = DeviceMetrics()
+        m.record_kernel(KernelCounters(), busy_cycles=800.0,
+                        wall_cycles=10.0, num_sms=80)
+        assert m.multiprocessor_activity == 1.0
+
+    def test_activity_partial(self):
+        m = DeviceMetrics()
+        m.record_kernel(KernelCounters(), busy_cycles=400.0,
+                        wall_cycles=10.0, num_sms=80)
+        assert m.multiprocessor_activity == pytest.approx(0.5)
+
+    def test_activity_empty(self):
+        assert DeviceMetrics().multiprocessor_activity == 0.0
+
+    def test_merge(self):
+        a = DeviceMetrics()
+        a.record_kernel(KernelCounters(global_load_transactions=1),
+                        busy_cycles=1.0, wall_cycles=1.0, num_sms=2)
+        b = DeviceMetrics()
+        b.record_kernel(KernelCounters(global_load_transactions=2),
+                        busy_cycles=1.0, wall_cycles=1.0, num_sms=2)
+        a.merge(b)
+        assert a.counters.global_load_transactions == 3
+        assert a.sm_total_cycles == 4.0
+
+    def test_as_dict(self):
+        d = DeviceMetrics().as_dict()
+        assert "multiprocessor_activity" in d

@@ -1,0 +1,135 @@
+"""Event-granular scheduler, and its agreement with the analytic bound."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.schedule import MAX_SIMULATED_BLOCKS, simulate_blocks
+from repro.gpu.spec import GPUSpec, V100
+from repro.gpu.warp import WarpStats
+
+
+def make_kernel(spec=V100):
+    return KernelSpec("k", spec)
+
+
+def warp(compute, spec=V100):
+    return WarpStats(spec).compute(compute)
+
+
+class TestExactScheduler:
+    def test_empty(self):
+        result = simulate_blocks(V100, [])
+        assert result.wall_cycles == 0.0
+
+    def test_single_block(self):
+        k = make_kernel()
+        k.add_group(1, 1, warp(500.0))
+        result = k.evaluate(exact=True)
+        assert result.wall_cycles == pytest.approx(500.0)
+        assert result.sm_busy_cycles == pytest.approx(500.0)
+
+    def test_blocks_fill_sms_concurrently(self):
+        # 80 identical blocks on 80 SMs: wall = one block.
+        k = make_kernel()
+        k.add_group(V100.num_sms, 1, warp(100.0))
+        result = k.evaluate(exact=True)
+        assert result.wall_cycles == pytest.approx(100.0)
+        assert result.sm_busy_cycles == pytest.approx(100.0 * V100.num_sms)
+
+    def test_serialisation_when_oversubscribed(self):
+        spec = GPUSpec(num_sms=1, max_blocks_per_sm=1)
+        k = make_kernel(spec)
+        k.add_group(3, 1, WarpStats(spec).compute(100.0))
+        result = k.evaluate(exact=True)
+        assert result.wall_cycles == pytest.approx(300.0)
+
+    def test_warp_limit_respected(self):
+        # Blocks of 32 warps: only 2 fit per SM (64-warp limit).
+        spec = GPUSpec(num_sms=1)
+        k = make_kernel(spec)
+        k.add_group(4, 32, WarpStats(spec).compute(4.0))
+        result = k.evaluate(exact=True)
+        one_block = 32 * 4.0 / spec.warp_schedulers_per_sm
+        assert result.wall_cycles == pytest.approx(2 * one_block)
+
+    def test_smem_limit_respected(self):
+        spec = GPUSpec(num_sms=1)
+        k = make_kernel(spec)
+        k.add_group(4, 1, WarpStats(spec).compute(100.0),
+                    shared_mem_bytes=spec.shared_mem_per_sm // 2)
+        result = k.evaluate(exact=True)
+        assert result.wall_cycles == pytest.approx(200.0)
+
+    def test_longest_first_packing(self):
+        # One long + many short on one SM slot: the long block is
+        # placed first, total = max(long, sum short) overlap impossible
+        # with 1 slot -> serial sum.
+        spec = GPUSpec(num_sms=1, max_blocks_per_sm=1)
+        k = make_kernel(spec)
+        k.add_group(1, 1, WarpStats(spec).compute(1000.0))
+        k.add_group(5, 1, WarpStats(spec).compute(10.0))
+        result = k.evaluate(exact=True)
+        assert result.wall_cycles == pytest.approx(1050.0)
+
+    def test_block_cap(self):
+        k = make_kernel()
+        k.add_group(MAX_SIMULATED_BLOCKS + 1, 1, warp(1.0))
+        with pytest.raises(ValueError, match="cap"):
+            k.evaluate(exact=True)
+
+    def test_bandwidth_floor_applies(self):
+        w = warp(1.0)
+        w.counters.global_load_transactions = 1e9
+        k = make_kernel()
+        k.add_group(1, 1, w)
+        expected = 1e9 * V100.transaction_bytes / V100.dram_bytes_per_cycle
+        assert k.evaluate(exact=True).wall_cycles >= expected
+
+
+class TestAnalyticAgreement:
+    """The fast bound must track the exact schedule within a small
+    factor across random workloads — the validation that justifies
+    using the analytic evaluator on the engines' hot path."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_homogeneous(self, seed):
+        rng = np.random.default_rng(seed)
+        k = make_kernel()
+        k.add_group(int(rng.integers(1, 4000)),
+                    int(rng.integers(1, 16)),
+                    warp(float(rng.uniform(10, 2000))))
+        fast = k.evaluate().wall_cycles
+        exact = k.evaluate(exact=True).wall_cycles
+        assert exact / 3.0 <= fast <= exact * 3.0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_heterogeneous(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        k = make_kernel()
+        for _ in range(int(rng.integers(2, 6))):
+            k.add_group(int(rng.integers(1, 500)),
+                        int(rng.integers(1, 32)),
+                        warp(float(rng.uniform(10, 5000))),
+                        shared_mem_bytes=int(rng.integers(0, 32 * 1024)))
+        fast = k.evaluate().wall_cycles
+        exact = k.evaluate(exact=True).wall_cycles
+        assert exact / 4.0 <= fast <= exact * 4.0
+
+    def test_analytic_never_below_span(self):
+        k = make_kernel()
+        k.add_group(10, 1, warp(10.0))
+        k.add_group(1, 1, warp(9999.0))
+        assert k.evaluate().wall_cycles >= 9999.0
+        assert k.evaluate(exact=True).wall_cycles >= 9999.0
+
+    def test_counters_identical(self):
+        w = WarpStats(V100).global_load(32).global_store(32)
+        k = make_kernel()
+        k.add_group(7, 3, w)
+        fast = k.evaluate().counters
+        exact = k.evaluate(exact=True).counters
+        assert fast.global_load_transactions == \
+            exact.global_load_transactions
+        assert fast.global_store_transactions == \
+            exact.global_store_transactions

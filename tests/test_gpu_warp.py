@@ -1,0 +1,83 @@
+"""WarpStats: per-warp cost and counter accounting."""
+
+import pytest
+
+from repro.gpu.spec import V100
+from repro.gpu.warp import WarpStats, coalesced_segments
+
+
+class TestCoalescedSegments:
+    def test_exact_fit(self):
+        assert coalesced_segments(4) == 1  # 4 x 8B = one 32B segment
+
+    def test_rounds_up(self):
+        assert coalesced_segments(5) == 2
+
+    def test_warp_of_words(self):
+        assert coalesced_segments(32) == 8
+
+    def test_zero(self):
+        assert coalesced_segments(0) == 0.0
+
+
+class TestWarpStats:
+    def test_compute(self):
+        w = WarpStats(V100).compute(10.0)
+        assert w.cycles == 10.0
+        assert w.counters.compute_cycles == 10.0
+
+    def test_global_load_default_coalesced(self):
+        w = WarpStats(V100).global_load(32)
+        assert w.counters.global_load_transactions == 8
+        expected = 8 * V100.global_transaction_cycles / V100.memory_parallelism
+        assert w.cycles == pytest.approx(expected)
+
+    def test_global_load_scattered(self):
+        w = WarpStats(V100).global_load(32, segments=32)
+        assert w.counters.global_load_transactions == 32
+
+    def test_global_store_efficiency_tracking(self):
+        w = WarpStats(V100).global_store(32, segments=32)
+        assert w.counters.ideal_global_store_transactions == 8
+        assert w.counters.global_store_transactions == 32
+        assert w.counters.store_efficiency == pytest.approx(0.25)
+
+    def test_store_cheaper_than_load(self):
+        load = WarpStats(V100).global_load(32, segments=8).cycles
+        store = WarpStats(V100).global_store(32, segments=8).cycles
+        # Stores are fire-and-forget: latency below an equal load burst
+        # after accounting for the load's memory-level parallelism.
+        assert store < load * V100.memory_parallelism
+
+    def test_shared_accesses(self):
+        w = WarpStats(V100).shared_load(2).shared_store(3)
+        assert w.counters.shared_load_transactions == 2
+        assert w.counters.shared_store_transactions == 3
+        assert w.cycles == pytest.approx(
+            5 * V100.shared_transaction_cycles)
+
+    def test_shuffle(self):
+        w = WarpStats(V100).shuffle(4)
+        assert w.counters.register_shuffles == 4
+        assert w.cycles == pytest.approx(4 * V100.shuffle_cycles)
+
+    def test_branch_uniform(self):
+        w = WarpStats(V100).branch()
+        assert w.counters.branches == 1
+        assert w.counters.divergent_branches == 0
+        assert w.cycles == 0.0
+
+    def test_branch_divergent_serializes(self):
+        w = WarpStats(V100).branch(divergent=True, extra_paths=2,
+                                   path_cycles=5.0)
+        assert w.counters.divergent_branches == 1
+        assert w.cycles == 10.0
+
+    def test_scaled_counters(self):
+        w = WarpStats(V100).global_load(32)
+        scaled = w.scaled(10)
+        assert scaled.global_load_transactions == 80
+
+    def test_chaining(self):
+        w = WarpStats(V100).compute(1.0).global_load(4).shuffle(1)
+        assert w.cycles > 0

@@ -1,0 +1,83 @@
+"""Graph I/O: SNAP edge lists and npz round trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph import io
+from repro.graph.csr import CSRGraph
+
+
+class TestEdgeList:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "g.txt")
+        io.save_edge_list(tiny_graph, path)
+        loaded = io.load_edge_list(path, num_vertices=7)
+        assert loaded == tiny_graph
+
+    def test_round_trip_weighted(self, tiny_weighted, tmp_path):
+        path = str(tmp_path / "g.txt")
+        io.save_edge_list(tiny_weighted, path)
+        loaded = io.load_edge_list(path, num_vertices=7)
+        assert loaded.is_weighted
+        assert np.allclose(np.sort(loaded.weights),
+                           np.sort(tiny_weighted.weights), rtol=1e-4)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP header\n\n0 1\n1 2\n# trailing\n")
+        g = io.load_edge_list(str(path))
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_undirected_load(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = io.load_edge_list(str(path), undirected=True)
+        assert g.has_edge(1, 0)
+
+    def test_infers_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 9\n")
+        assert io.load_edge_list(str(path)).num_vertices == 10
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(ValueError, match="expected 2 or 3"):
+            io.load_edge_list(str(path))
+
+    def test_inconsistent_weights(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2.5\n1 2\n")
+        with pytest.raises(ValueError, match="inconsistent"):
+            io.load_edge_list(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        g = io.load_edge_list(str(path))
+        assert g.num_vertices == 0
+
+    def test_name_defaults_to_filename(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert io.load_edge_list(str(path)).name == "mygraph.txt"
+
+
+class TestNpz:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "g.npz")
+        io.save_npz(tiny_graph, path)
+        assert io.load_npz(path) == tiny_graph
+
+    def test_round_trip_weighted(self, tiny_weighted, tmp_path):
+        path = str(tmp_path / "g.npz")
+        io.save_npz(tiny_weighted, path)
+        loaded = io.load_npz(path)
+        assert loaded.is_weighted
+        assert loaded == tiny_weighted
+
+    def test_name_preserved(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "g.npz")
+        io.save_npz(tiny_graph, path)
+        assert io.load_npz(path).name == "tiny"

@@ -1,0 +1,103 @@
+"""SampleLoader: the GNN mini-batch integration surface."""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import DeepWalk, KHop
+from repro.baselines import ReferenceSamplerEngine
+from repro.train.loader import MiniBatch, SampleLoader
+
+
+class TestConstruction:
+    def test_validation(self, medium_graph):
+        with pytest.raises(ValueError):
+            SampleLoader(medium_graph, KHop((4,)), batch_size=0)
+
+    def test_empty_pool_rejected(self, medium_graph):
+        with pytest.raises(ValueError):
+            SampleLoader(medium_graph, KHop((4,)),
+                         vertices=np.array([], dtype=np.int64))
+
+    def test_len(self, medium_graph):
+        loader = SampleLoader(medium_graph, KHop((4,)), batch_size=300,
+                              vertices=np.arange(1000))
+        assert len(loader) == 4
+        loader = SampleLoader(medium_graph, KHop((4,)), batch_size=300,
+                              vertices=np.arange(1000), drop_last=True)
+        assert len(loader) == 3
+        loader = SampleLoader(medium_graph, KHop((4,)), batch_size=500,
+                              vertices=np.arange(1000))
+        assert len(loader) == 2
+
+
+class TestIteration:
+    def test_batches_cover_pool(self, medium_graph):
+        pool = np.arange(700)
+        loader = SampleLoader(medium_graph, KHop((4,)), batch_size=256,
+                              vertices=pool, seed=1)
+        seen = np.concatenate([b.roots for b in loader.epoch(0)])
+        assert sorted(seen.tolist()) == sorted(pool.tolist())
+
+    def test_batch_contents(self, medium_graph):
+        loader = SampleLoader(medium_graph, KHop((4, 2)), batch_size=64,
+                              vertices=np.arange(128))
+        batch = next(iter(loader))
+        assert isinstance(batch, MiniBatch)
+        assert batch.roots.shape == (64,)
+        hop1, hop2 = batch.samples
+        assert hop1.shape == (64, 4)
+        assert hop2.shape == (64, 8)
+        assert batch.sampling_seconds > 0
+
+    def test_shuffle_changes_order_across_epochs(self, medium_graph):
+        loader = SampleLoader(medium_graph, DeepWalk(2), batch_size=64,
+                              vertices=np.arange(256), seed=3)
+        first = next(iter(loader.epoch(0))).roots
+        second = next(iter(loader.epoch(1))).roots
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_keeps_order(self, medium_graph):
+        pool = np.arange(100)
+        loader = SampleLoader(medium_graph, DeepWalk(2), batch_size=40,
+                              vertices=pool, shuffle=False)
+        batches = list(loader.epoch(0))
+        assert np.array_equal(batches[0].roots, pool[:40])
+        assert batches[-1].roots.size == 20
+
+    def test_drop_last(self, medium_graph):
+        loader = SampleLoader(medium_graph, DeepWalk(2), batch_size=40,
+                              vertices=np.arange(100), drop_last=True)
+        batches = list(loader.epoch(0))
+        assert len(batches) == 2
+        assert all(b.roots.size == 40 for b in batches)
+
+    def test_deterministic_given_seed(self, medium_graph):
+        def run():
+            loader = SampleLoader(medium_graph, DeepWalk(3),
+                                  batch_size=64,
+                                  vertices=np.arange(128), seed=9)
+            return [b.samples for b in loader.epoch(0)]
+
+        a, b = run(), run()
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_sampling_time_accumulates(self, medium_graph):
+        loader = SampleLoader(medium_graph, DeepWalk(2), batch_size=64,
+                              vertices=np.arange(128))
+        list(loader.epoch(0))
+        assert loader.total_sampling_seconds > 0
+
+    def test_custom_engine(self, medium_graph):
+        loader = SampleLoader(medium_graph, KHop((4,)),
+                              engine=ReferenceSamplerEngine(),
+                              batch_size=64, vertices=np.arange(64))
+        batch = next(iter(loader))
+        assert batch.samples[0].shape == (64, 4)
+
+    def test_iter_advances_epochs(self, medium_graph):
+        loader = SampleLoader(medium_graph, DeepWalk(2), batch_size=64,
+                              vertices=np.arange(64), seed=2)
+        a = next(iter(loader)).epoch
+        b = next(iter(loader)).epoch
+        assert b == a + 1

@@ -1,0 +1,99 @@
+"""Sanity properties of the performance model itself.
+
+These pin the *monotonicity* every experiment relies on: more work
+costs more, bigger graphs cost more, and the model never produces
+negative or zero costs for non-trivial runs.  A regression here would
+silently distort every figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import DeepWalk, KHop
+from repro.core.engine import NextDoorEngine
+from repro.baselines import KnightKingEngine, SampleParallelEngine
+from repro.graph.generators import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(4000, 40000, seed=2, name="scaling")
+
+
+class TestWorkMonotonicity:
+    def test_time_grows_with_walkers(self, graph):
+        times = []
+        for n in (1000, 4000, 16000):
+            r = NextDoorEngine().run(DeepWalk(20), graph,
+                                     num_samples=n, seed=0)
+            times.append(r.seconds)
+        assert times[0] < times[1] < times[2]
+
+    def test_time_grows_with_walk_length(self, graph):
+        short = NextDoorEngine().run(DeepWalk(5), graph,
+                                     num_samples=2000, seed=0)
+        long = NextDoorEngine().run(DeepWalk(50), graph,
+                                    num_samples=2000, seed=0)
+        assert long.seconds > 5 * short.seconds
+
+    def test_time_grows_with_fanout(self, graph):
+        small = NextDoorEngine().run(KHop((5, 5)), graph,
+                                     num_samples=2000, seed=0)
+        big = NextDoorEngine().run(KHop((25, 10)), graph,
+                                   num_samples=2000, seed=0)
+        assert big.seconds > small.seconds
+
+    def test_large_runs_become_throughput_bound(self, graph):
+        """Per-walker cost must *fall* as walkers grow (span floor is
+        amortised), then flatten — never rise."""
+        per_walker = []
+        for n in (500, 4000, 32000):
+            r = NextDoorEngine().run(DeepWalk(10), graph,
+                                     num_samples=n, seed=0)
+            per_walker.append(r.seconds / n)
+        assert per_walker[0] > per_walker[1] >= per_walker[2] * 0.8
+
+    def test_cpu_engine_linear_in_walkers(self, graph):
+        a = KnightKingEngine().run(DeepWalk(10), graph,
+                                   num_samples=2000, seed=0)
+        b = KnightKingEngine().run(DeepWalk(10), graph,
+                                   num_samples=8000, seed=0)
+        assert b.seconds == pytest.approx(4 * a.seconds, rel=0.3)
+
+
+class TestCostsAreSane:
+    def test_no_zero_cost_runs(self, graph):
+        for engine in (NextDoorEngine(), SampleParallelEngine(),
+                       KnightKingEngine()):
+            r = engine.run(DeepWalk(3), graph, num_samples=64, seed=0)
+            assert r.seconds > 0
+
+    def test_counters_scale_with_work(self, graph):
+        small = NextDoorEngine().run(DeepWalk(5), graph,
+                                     num_samples=1000, seed=0)
+        big = NextDoorEngine().run(DeepWalk(5), graph,
+                                   num_samples=8000, seed=0)
+        assert (big.metrics.counters.global_load_transactions
+                > 3 * small.metrics.counters.global_load_transactions)
+
+    def test_transit_sharing_reduces_relative_loads(self, graph):
+        """With 8x the walkers on the same graph, transits are shared
+        8x more, so ND's loads per produced vertex must drop."""
+        def loads_per_vertex(n):
+            r = NextDoorEngine().run(DeepWalk(10), graph,
+                                     num_samples=n, seed=0)
+            produced = (r.get_final_samples() != -1).sum()
+            return r.metrics.counters.global_load_transactions / produced
+
+        assert loads_per_vertex(16000) < loads_per_vertex(2000)
+
+    def test_sp_loads_insensitive_to_sharing(self, graph):
+        """SP cannot exploit sharing: its per-vertex loads stay flat."""
+        def loads_per_vertex(n):
+            r = SampleParallelEngine().run(DeepWalk(10), graph,
+                                           num_samples=n, seed=0)
+            produced = (r.get_final_samples() != -1).sum()
+            return r.metrics.counters.global_load_transactions / produced
+
+        a, b = loads_per_vertex(2000), loads_per_vertex(16000)
+        assert b == pytest.approx(a, rel=0.15)

@@ -1,0 +1,50 @@
+"""MultiGPU pool semantics."""
+
+import pytest
+
+from repro.gpu.multi_gpu import MultiGPU
+from repro.gpu.spec import V100
+from repro.gpu.warp import WarpStats
+
+
+def busy(device, compute):
+    kernel = device.new_kernel("k")
+    kernel.add_group(1, 1, WarpStats(device.spec).compute(compute))
+    device.launch(kernel)
+
+
+class TestMultiGPU:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiGPU(0)
+
+    def test_elapsed_is_slowest_device(self):
+        pool = MultiGPU(3)
+        busy(pool.devices[0], 1000.0)
+        busy(pool.devices[1], 5000.0)
+        busy(pool.devices[2], 2000.0)
+        assert pool.elapsed_seconds == pytest.approx(
+            V100.seconds(5000.0))
+
+    def test_coordination_charged_per_run(self):
+        pool = MultiGPU(4)
+        busy(pool.devices[0], 1000.0)
+        base = pool.elapsed_seconds
+        pool.record_run()
+        assert pool.elapsed_seconds == pytest.approx(
+            base + 4 * MultiGPU.COORDINATION_SECONDS)
+
+    def test_merged_metrics(self):
+        pool = MultiGPU(2)
+        for d in pool.devices:
+            kernel = d.new_kernel("k")
+            warp = WarpStats(d.spec).global_load(32)
+            kernel.add_group(1, 1, warp)
+            d.launch(kernel)
+        merged = pool.merged_metrics()
+        assert merged.counters.global_load_transactions == 16
+
+    def test_device_names_unique(self):
+        pool = MultiGPU(4)
+        names = {d.name for d in pool.devices}
+        assert len(names) == 4

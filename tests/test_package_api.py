@@ -1,0 +1,78 @@
+"""Public API surface: what a downstream user imports must exist."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+        assert repro.__version__
+
+    def test_headline_imports(self):
+        from repro import (
+            CSRGraph,
+            NextDoorEngine,
+            Sample,
+            SampleBatch,
+            SamplingApp,
+            SamplingResult,
+            SamplingType,
+            datasets,
+        )
+        assert NextDoorEngine and CSRGraph and datasets
+
+    def test_constants(self):
+        from repro import INF_STEPS, NULL_VERTEX
+        assert NULL_VERTEX == -1
+        assert INF_STEPS == -1
+
+
+class TestAllDeclarations:
+    """Every name in a package's __all__ must resolve."""
+
+    @pytest.mark.parametrize("module_name", [
+        "repro",
+        "repro.api",
+        "repro.api.apps",
+        "repro.graph",
+        "repro.gpu",
+        "repro.core",
+        "repro.baselines",
+        "repro.train",
+        "repro.bench",
+    ])
+    def test_all_resolvable(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestAppRegistry:
+    def test_all_apps_instantiable(self):
+        from repro.api.apps import ALL_APPS
+        for cls in ALL_APPS:
+            app = cls()
+            assert app.name
+            assert app.steps() != 0
+
+    def test_random_walk_set(self):
+        from repro.api.apps import RANDOM_WALKS
+        from repro.api.types import SamplingType
+        for cls in RANDOM_WALKS:
+            app = cls()
+            assert app.sampling_type() is SamplingType.INDIVIDUAL
+            assert app.sample_size(0) == 1
+
+
+class TestEngineRegistry:
+    def test_cli_engines_cover_baselines(self):
+        from repro.cli import ENGINES
+        assert set(ENGINES) == {"nextdoor", "sp", "tp", "knightking",
+                                "reference", "gunrock", "tigr"}
+
+    def test_engine_names_unique(self):
+        from repro.cli import ENGINES
+        names = [cls.engine_name for cls in ENGINES.values()]
+        assert len(set(names)) == len(names)

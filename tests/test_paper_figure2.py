@@ -1,0 +1,120 @@
+"""The paper's Figure 2 worked example, executed.
+
+Figure 2 walks three samples S1, S2, S3 through two steps of (b) 2-hop
+neighborhood sampling and (c) layer sampling with m1 = m2 = 2 on a
+small example graph.  These tests reconstruct an equivalent graph and
+assert the *semantics* the figure illustrates:
+
+- individual sampling: each step adds ``m`` vertices per transit, so
+  sample sizes grow multiplicatively (1 -> 2 -> 4 vertices);
+- collective sampling: each step adds ``m`` vertices per *sample*
+  regardless of its transit count (1 -> 2 -> 4... no: 2 per step);
+- step-1 vertices come from the root's neighborhood; step-2 vertices
+  from the step-1 vertices' neighborhoods (individual) or their
+  combined neighborhood (collective);
+- the output contains all vertices sampled at all steps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import KHop, Layer
+from repro.api.types import NULL_VERTEX
+from repro.core.engine import NextDoorEngine
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def figure2_graph():
+    """A connected 7-vertex graph in the spirit of Figure 2a (the
+    paper's exact adjacency is only partially legible in the text, so
+    semantics — not vertex identities — are asserted)."""
+    edges = [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (4, 5), (4, 6),
+             (5, 6), (6, 0), (0, 1)]
+    return CSRGraph.from_edges(7, edges, undirected=True, name="fig2")
+
+
+@pytest.fixture
+def roots():
+    """S1, S2, S3 start from single root vertices."""
+    return np.array([[1], [2], [3]], dtype=np.int64)
+
+
+class TestTwoHopExample:
+    def test_growth_is_multiplicative(self, figure2_graph, roots):
+        result = NextDoorEngine().run(KHop((2, 2)), figure2_graph,
+                                      roots=roots, seed=0)
+        hop1, hop2 = result.get_final_samples()
+        assert hop1.shape == (3, 2)   # m1 = 2 per single transit
+        assert hop2.shape == (3, 4)   # m2 = 2 per each of 2 transits
+
+    def test_step1_from_root_neighborhood(self, figure2_graph, roots):
+        result = NextDoorEngine().run(KHop((2, 2)), figure2_graph,
+                                      roots=roots, seed=0)
+        hop1 = result.get_final_samples()[0]
+        for s in range(3):
+            nbrs = set(figure2_graph.neighbors(int(roots[s, 0])).tolist())
+            assert set(hop1[s].tolist()) <= nbrs
+
+    def test_step1_vertices_become_transits(self, figure2_graph, roots):
+        result = NextDoorEngine().run(KHop((2, 2)), figure2_graph,
+                                      roots=roots, seed=0)
+        hop1, hop2 = result.get_final_samples()
+        for s in range(3):
+            for t_idx in range(2):
+                transit = int(hop1[s, t_idx])
+                nbrs = set(figure2_graph.neighbors(transit).tolist())
+                block = hop2[s, t_idx * 2:(t_idx + 1) * 2]
+                assert set(block.tolist()) <= nbrs
+
+    def test_output_contains_all_steps(self, figure2_graph, roots):
+        result = NextDoorEngine().run(KHop((2, 2)), figure2_graph,
+                                      roots=roots, seed=0)
+        per_step = result.get_final_samples()
+        flat = result.batch.as_array()
+        assert flat.shape[1] == sum(a.shape[1] for a in per_step)
+
+
+class TestLayerSamplingExample:
+    def test_growth_is_per_sample(self, figure2_graph, roots):
+        """Layer sampling adds m vertices per SAMPLE per step — the
+        contrast Figure 2c draws against Figure 2b."""
+        result = NextDoorEngine().run(Layer(step_size=2, max_size=4),
+                                      figure2_graph, roots=roots, seed=0)
+        batch = result.batch
+        assert batch.step_vertices[0].shape == (3, 2)
+        assert batch.step_vertices[1].shape == (3, 2)  # still 2, not 4
+
+    def test_step2_from_combined_neighborhood(self, figure2_graph, roots):
+        result = NextDoorEngine().run(Layer(step_size=2, max_size=4),
+                                      figure2_graph, roots=roots, seed=0)
+        batch = result.batch
+        for s in range(3):
+            combined = set()
+            for t in batch.step_vertices[0][s]:
+                if t != NULL_VERTEX:
+                    combined.update(
+                        figure2_graph.neighbors(int(t)).tolist())
+            for v in batch.step_vertices[1][s]:
+                if v != NULL_VERTEX:
+                    assert int(v) in combined
+
+    def test_stops_at_max_size(self, figure2_graph, roots):
+        result = NextDoorEngine().run(Layer(step_size=2, max_size=4),
+                                      figure2_graph, roots=roots, seed=0)
+        sizes = (result.get_final_samples() != NULL_VERTEX).sum(axis=1)
+        assert (sizes <= 4 + 2).all()
+
+    def test_both_apps_agree_on_step1_support(self, figure2_graph, roots):
+        """At step 1 both samplers draw from the same set (the root's
+        neighborhood) — individual vs collective only differ once there
+        are multiple transits."""
+        khop = NextDoorEngine().run(KHop((2, 2)), figure2_graph,
+                                    roots=roots, seed=0)
+        layer = NextDoorEngine().run(Layer(step_size=2, max_size=4),
+                                     figure2_graph, roots=roots, seed=1)
+        for s in range(3):
+            nbrs = set(figure2_graph.neighbors(int(roots[s, 0])).tolist())
+            assert set(khop.get_final_samples()[0][s].tolist()) <= nbrs
+            step1 = layer.batch.step_vertices[0][s]
+            assert set(step1[step1 != NULL_VERTEX].tolist()) <= nbrs

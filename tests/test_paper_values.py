@@ -1,0 +1,84 @@
+"""paper_values: the machine-readable targets and the report join."""
+
+import pytest
+
+from repro.bench.paper_values import (
+    FIG7A_BAND,
+    FIG7_SP_BAND,
+    TABLE3,
+    TABLE5,
+    compare_results,
+)
+
+
+class TestTargets:
+    def test_table3_matches_datasets_module(self):
+        from repro.graph import datasets
+        for abrv, (nodes, edges, deg) in TABLE3.items():
+            spec = next(s for s in datasets.SPECS.values()
+                        if s.abrv == abrv)
+            assert spec.paper_nodes == nodes
+            assert spec.paper_edges == edges
+            assert spec.avg_degree == deg
+
+    def test_table5_matches_bench_expectations(self):
+        import importlib.util
+        import os
+        path = os.path.join(os.path.dirname(__file__), "..",
+                            "benchmarks", "bench_table5_end_to_end.py")
+        spec = importlib.util.spec_from_file_location("b5", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.PAPER == TABLE5
+
+    def test_bands_ordered(self):
+        assert FIG7A_BAND[0] < FIG7A_BAND[1]
+        assert FIG7_SP_BAND[0] < FIG7_SP_BAND[1]
+
+
+class TestCompareResults:
+    def test_empty_results(self):
+        assert compare_results({}) == {}
+
+    def test_fig7a_grading(self):
+        report = compare_results({
+            "fig7a_vs_knightking": {"DeepWalk": {"ppi": 30.0,
+                                                 "livej": 45.0}}})
+        assert report["fig7a"]["grade"] == "in band"
+
+    def test_fig7a_near_band(self):
+        report = compare_results({
+            "fig7a_vs_knightking": {"DeepWalk": {"ppi": 12.0}}})
+        assert report["fig7a"]["grade"] == "near band"
+
+    def test_fig7a_off_band(self):
+        report = compare_results({
+            "fig7a_vs_knightking": {"DeepWalk": {"ppi": 0.5}}})
+        assert report["fig7a"]["grade"] == "off band"
+
+    def test_sec84_crossover_detection(self):
+        good = compare_results({"sec84_large_graphs": {
+            "DeepWalk": {"nd_vs_kk": 0.6},
+            "node2vec": {"nd_vs_kk": 1.8}}})
+        assert good["sec84"]["grade"] == "in band"
+        bad = compare_results({"sec84_large_graphs": {
+            "DeepWalk": {"nd_vs_kk": 1.6},
+            "node2vec": {"nd_vs_kk": 1.8}}})
+        assert bad["sec84"]["grade"] == "off band"
+
+    def test_table5_oom_agreement(self):
+        results = {"table5_end_to_end": {
+            gnn: {d: (None if v is None else v)
+                  for d, v in row.items()}
+            for gnn, row in TABLE5.items()}}
+        report = compare_results(results)
+        assert report["table5"]["grade"] == "in band"
+
+    def test_report_cli(self):
+        import io
+        from repro.cli import main
+        out = io.StringIO()
+        code = main(["report"], out=out)
+        # Either results exist (0) or a helpful message (1).
+        assert code in (0, 1)
+        assert out.getvalue()

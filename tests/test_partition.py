@@ -1,0 +1,112 @@
+"""Graph partitioning: cluster and memory-budget splits."""
+
+import numpy as np
+import pytest
+
+from repro.graph.partition import (
+    Partition,
+    bfs_partition,
+    partition_for_memory,
+    partition_vertices,
+    random_partition,
+)
+
+
+class TestPartitionType:
+    def test_members_and_sizes(self, tiny_graph):
+        p = random_partition(tiny_graph, 3, seed=0)
+        assert p.sizes().sum() == tiny_graph.num_vertices
+        covered = np.concatenate([p.members(i) for i in range(3)])
+        assert sorted(covered.tolist()) == list(range(7))
+
+    def test_validation_assignment_size(self, tiny_graph):
+        with pytest.raises(ValueError):
+            Partition(tiny_graph, np.zeros(3, dtype=np.int64), 2)
+
+    def test_validation_assignment_range(self, tiny_graph):
+        bad = np.zeros(7, dtype=np.int64)
+        bad[0] = 5
+        with pytest.raises(ValueError):
+            Partition(tiny_graph, bad, 2)
+
+    def test_edge_cut_extremes(self, tiny_graph):
+        one = Partition(tiny_graph, np.zeros(7, dtype=np.int64), 1)
+        assert one.edge_cut() == 0
+        each = Partition(tiny_graph, np.arange(7), 7)
+        assert each.edge_cut() == tiny_graph.num_edges
+
+    def test_part_bytes(self, tiny_graph):
+        p = Partition(tiny_graph, np.zeros(7, dtype=np.int64), 1)
+        assert p.part_bytes(0) == tiny_graph.num_edges * 8 + 8 * 8
+
+
+class TestRandomPartition:
+    def test_deterministic(self, medium_graph):
+        a = random_partition(medium_graph, 8, seed=1)
+        b = random_partition(medium_graph, 8, seed=1)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_roughly_balanced(self, medium_graph):
+        p = random_partition(medium_graph, 8, seed=1)
+        sizes = p.sizes()
+        assert sizes.min() > 0.6 * sizes.mean()
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            random_partition(tiny_graph, 0)
+
+
+class TestBFSPartition:
+    def test_covers_everything(self, medium_graph):
+        p = bfs_partition(medium_graph, 6, seed=2)
+        assert (p.assignment >= 0).all()
+        assert p.sizes().sum() == medium_graph.num_vertices
+
+    def test_locality_beats_random(self, medium_graph):
+        bfs = bfs_partition(medium_graph, 6, seed=2)
+        rnd = random_partition(medium_graph, 6, seed=2)
+        assert bfs.edge_cut() < rnd.edge_cut()
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            bfs_partition(tiny_graph, 0)
+
+
+class TestMemoryPartition:
+    def test_every_part_fits_budget(self, medium_graph):
+        budget = 16 * 1024
+        p = partition_for_memory(medium_graph, budget)
+        for part in range(p.num_parts):
+            assert p.part_bytes(part) <= budget + 64
+
+    def test_parts_are_contiguous_ranges(self, medium_graph):
+        p = partition_for_memory(medium_graph, 16 * 1024)
+        assert (np.diff(p.assignment) >= 0).all()
+
+    def test_single_part_when_budget_huge(self, tiny_graph):
+        p = partition_for_memory(tiny_graph, 10 ** 9)
+        assert p.num_parts == 1
+
+    def test_too_small_budget_rejected(self, star_graph):
+        with pytest.raises(ValueError):
+            partition_for_memory(star_graph, 64)
+
+    def test_trivial_budget_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            partition_for_memory(tiny_graph, 8)
+
+
+class TestPartitionVertices:
+    def test_even_split(self):
+        chunks = partition_vertices(10, 3)
+        assert len(chunks) == 3
+        assert sum(c.size for c in chunks) == 10
+        assert np.array_equal(np.concatenate(chunks), np.arange(10))
+
+    def test_more_parts_than_vertices(self):
+        chunks = partition_vertices(2, 4)
+        assert sum(c.size for c in chunks) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_vertices(10, 0)

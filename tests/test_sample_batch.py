@@ -1,0 +1,119 @@
+"""SampleBatch / Sample: the paper's sample accessors."""
+
+import numpy as np
+import pytest
+
+from repro.api.sample import Sample, SampleBatch
+from repro.api.types import NULL_VERTEX
+
+
+@pytest.fixture
+def batch(tiny_graph):
+    b = SampleBatch(tiny_graph, np.array([[0], [1], [2]]))
+    b.append_step(np.array([[1], [2], [3]]))
+    b.append_step(np.array([[2], [3], [NULL_VERTEX]]))
+    return b
+
+
+class TestSampleBatch:
+    def test_roots_1d_promoted(self, tiny_graph):
+        b = SampleBatch(tiny_graph, np.array([0, 1, 2]))
+        assert b.roots.shape == (3, 1)
+
+    def test_roots_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            SampleBatch(tiny_graph, np.zeros((2, 2, 2), dtype=np.int64))
+
+    def test_num_samples_and_steps(self, batch):
+        assert batch.num_samples == 3
+        assert batch.num_steps == 2
+
+    def test_append_step_validation(self, batch):
+        with pytest.raises(ValueError):
+            batch.append_step(np.array([[1], [2]]))  # wrong sample count
+        with pytest.raises(ValueError):
+            batch.append_step(np.array([1, 2, 3]))  # not 2-D
+
+    def test_as_array(self, batch):
+        arr = batch.as_array()
+        assert arr.shape == (3, 2)
+        assert list(arr[0]) == [1, 2]
+        assert arr[2, 1] == NULL_VERTEX
+
+    def test_as_array_with_roots(self, batch):
+        arr = batch.as_array(include_roots=True)
+        assert arr.shape == (3, 3)
+        assert list(arr[1]) == [1, 2, 3]
+
+    def test_as_array_empty(self, tiny_graph):
+        b = SampleBatch(tiny_graph, np.array([[0]]))
+        assert b.as_array().shape == (1, 0)
+
+    def test_per_step_arrays(self, batch):
+        steps = batch.per_step_arrays()
+        assert len(steps) == 2
+        assert steps[0].shape == (3, 1)
+
+    def test_sample_vertices_drops_null(self, batch):
+        assert list(batch.sample_vertices(2)) == [2, 3]
+        assert list(batch.sample_vertices(2, drop_null=False)) \
+            == [2, 3, NULL_VERTEX]
+
+    def test_record_and_query_edges(self, batch):
+        batch.record_edges(np.array([[0, 1, 2], [1, 2, 3], [0, 2, 3]]))
+        edges = batch.sample_edges(0)
+        assert edges.shape == (2, 2)
+        assert [1, 2] in edges.tolist()
+
+    def test_record_edges_validation(self, batch):
+        with pytest.raises(ValueError):
+            batch.record_edges(np.array([[0, 1]]))
+
+    def test_sample_edges_empty(self, batch):
+        assert batch.sample_edges(0).shape == (0, 2)
+
+    def test_indexing_and_iteration(self, batch):
+        assert isinstance(batch[0], Sample)
+        assert len(batch) == 3
+        assert len(list(batch)) == 3
+        with pytest.raises(IndexError):
+            batch[3]
+
+
+class TestSample:
+    def test_prev_vertex_last_step(self, batch):
+        s = batch[0]
+        assert s.prev_vertex(1, 0) == 2  # step 2's vertex
+        assert s.prev_vertex(2, 0) == 1  # step 1's vertex
+
+    def test_prev_vertex_roots_act_as_step_minus_one(self, tiny_graph):
+        b = SampleBatch(tiny_graph, np.array([[5]]))
+        assert b[0].prev_vertex(1, 0) == 5
+
+    def test_prev_vertex_out_of_range(self, batch):
+        s = batch[0]
+        assert s.prev_vertex(10, 0) == NULL_VERTEX
+        assert s.prev_vertex(1, 10) == NULL_VERTEX
+
+    def test_prev_edges(self, batch, tiny_graph):
+        s = batch[0]
+        v = s.prev_vertex(1, 0)
+        assert np.array_equal(s.prev_edges(1, 0), tiny_graph.neighbors(v))
+
+    def test_prev_edges_null(self, batch):
+        assert batch[2].prev_edges(1, 0).size == 0
+
+    def test_roots_default(self, batch):
+        assert list(batch[1].roots) == [1]
+        assert batch[1].num_roots() == 1
+
+    def test_roots_live_state(self, batch):
+        batch.state["roots"] = np.array([[9], [8], [7]])
+        assert list(batch[0].roots) == [9]
+
+    def test_vertices(self, batch):
+        assert list(batch[0].vertices()) == [0, 1, 2]
+        assert list(batch[0].vertices(include_roots=False)) == [1, 2]
+
+    def test_repr(self, batch):
+        assert "Sample(index=0" in repr(batch[0])

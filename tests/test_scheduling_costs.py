@@ -1,0 +1,114 @@
+"""Kernel cost planner: the Table 2 mechanisms must be load-bearing."""
+
+import numpy as np
+import pytest
+
+from repro.api.types import StepInfo
+from repro.core.scheduling import KernelPlanConfig, charge_sampling_kernels
+from repro.core.transit_map import build_transit_map, charge_index_build
+from repro.gpu.device import Device
+
+
+def charge(counts, degrees, m=1, config=KernelPlanConfig(),
+           info=StepInfo(), weighted=False):
+    """Charge a synthetic step: transit i appears counts[i] times."""
+    transits = np.concatenate([
+        np.full(c, i, dtype=np.int64) for i, c in enumerate(counts)])
+    tmap = build_transit_map(transits[:, None])
+    device = Device()
+    charge_sampling_kernels(device, tmap, np.asarray(degrees, dtype=np.int64),
+                            m, info, config, weighted=weighted)
+    return device
+
+
+class TestKernelClasses:
+    def test_subwarp_only_launch(self):
+        d = charge(counts=[2, 3], degrees=[4, 4], m=1)
+        names = [e.name for e in d.timeline.entries]
+        assert names == ["transit_sampling_kernels"]
+
+    def test_empty_step_charges_nothing(self):
+        device = Device()
+        tmap = build_transit_map(np.full((2, 1), -1))
+        charge_sampling_kernels(device, tmap, np.zeros(0, dtype=np.int64),
+                                1, StepInfo())
+        assert device.elapsed_seconds == 0.0
+
+    def test_m_zero_charges_nothing(self):
+        d = charge(counts=[5], degrees=[4], m=0)
+        assert d.elapsed_seconds == 0.0
+
+
+class TestMechanisms:
+    def test_caching_reduces_global_loads(self):
+        hot = [200] * 8  # block-class transits
+        degs = [64] * 8
+        cached = charge(hot, degs, config=KernelPlanConfig())
+        uncached = charge(hot, degs,
+                          config=KernelPlanConfig(enable_caching=False))
+        assert (uncached.metrics.counters.global_load_transactions
+                > 2 * cached.metrics.counters.global_load_transactions)
+
+    def test_load_balancing_beats_vanilla_on_skew(self):
+        # One scorching transit + many cold ones.
+        counts = [5000] + [1] * 200
+        degs = [500] + [8] * 200
+        balanced = charge(counts, degs, m=1)
+        vanilla = charge(counts, degs, m=1,
+                         config=KernelPlanConfig(
+                             enable_load_balancing=False))
+        assert vanilla.elapsed_seconds > balanced.elapsed_seconds
+
+    def test_subwarp_sharing_keeps_stores_efficient(self):
+        counts = [1] * 100
+        degs = [8] * 100
+        shared = charge(counts, degs, m=1)
+        solo = charge(counts, degs, m=1,
+                      config=KernelPlanConfig(
+                          enable_subwarp_sharing=False))
+        assert shared.metrics.counters.store_efficiency \
+            >= solo.metrics.counters.store_efficiency
+
+    def test_weighted_doubles_adjacency_traffic(self):
+        counts = [200] * 8
+        degs = [64] * 8
+        plain = charge(counts, degs)
+        weighted = charge(counts, degs, weighted=True)
+        assert (weighted.metrics.counters.global_load_transactions
+                > 1.5 * plain.metrics.counters.global_load_transactions)
+
+    def test_divergent_info_costs_cycles(self):
+        calm = charge([100] * 4, [32] * 4, info=StepInfo())
+        stormy = charge([100] * 4, [32] * 4,
+                        info=StepInfo(divergence_fraction=1.0,
+                                      divergence_cycles=100.0))
+        assert stormy.elapsed_seconds > calm.elapsed_seconds
+        assert stormy.metrics.counters.divergent_branches > 0
+
+    def test_extra_reads_scatter(self):
+        without = charge([100] * 4, [32] * 4)
+        with_probes = charge([100] * 4, [32] * 4,
+                             info=StepInfo(
+                                 extra_global_reads_per_vertex=3.0))
+        assert (with_probes.metrics.counters.global_load_transactions
+                > without.metrics.counters.global_load_transactions)
+
+
+class TestIndexBuild:
+    def test_cost_scales_with_pairs(self):
+        small = Device()
+        charge_index_build(small, 1000)
+        large = Device()
+        charge_index_build(large, 1_000_000)
+        assert large.elapsed_seconds > 10 * small.elapsed_seconds
+
+    def test_zero_pairs_free(self):
+        d = Device()
+        charge_index_build(d, 0)
+        assert d.elapsed_seconds == 0.0
+
+    def test_charged_to_index_phase(self):
+        d = Device()
+        charge_index_build(d, 1000)
+        assert d.timeline.total_seconds(phase="scheduling_index") > 0
+        assert d.timeline.total_seconds(phase="sampling") == 0

@@ -1,0 +1,144 @@
+"""Shared functional stepping logic."""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import DeepWalk, KHop, Layer, Node2Vec
+from repro.api.types import NULL_VERTEX
+from repro.core import stepper
+from repro.core.transit_map import flatten_transits
+
+
+class TestInitBatch:
+    def test_from_num_samples(self, medium_graph, rng):
+        batch = stepper.init_batch(DeepWalk(5), medium_graph, 16, None, rng)
+        assert batch.num_samples == 16
+        assert batch.roots.shape == (16, 1)
+
+    def test_from_roots(self, medium_graph, rng):
+        roots = np.arange(6, dtype=np.int64)[:, None]
+        batch = stepper.init_batch(DeepWalk(5), medium_graph, None, roots,
+                                   rng)
+        assert np.array_equal(batch.roots, roots)
+
+    def test_neither_rejected(self, medium_graph, rng):
+        with pytest.raises(ValueError):
+            stepper.init_batch(DeepWalk(5), medium_graph, None, None, rng)
+
+    def test_state_installed(self, medium_graph, rng):
+        from repro.api.apps import MultiRW
+        batch = stepper.init_batch(MultiRW(num_roots=4, walk_length=3),
+                                   medium_graph, 8, None, rng)
+        assert "roots" in batch.state
+
+
+class TestStepLimit:
+    def test_fixed(self):
+        assert stepper.step_limit(DeepWalk(17)) == 17
+
+    def test_inf_uses_cap(self):
+        from repro.api.apps import PPR
+        assert stepper.step_limit(PPR(max_steps=99)) == 99
+
+
+class TestPrevTransits:
+    def test_step_zero_none(self, medium_graph, rng):
+        batch = stepper.init_batch(DeepWalk(3), medium_graph, 4, None, rng)
+        assert stepper.prev_transits_for(batch, 0, np.arange(4),
+                                         np.zeros(4, dtype=np.int64)) is None
+
+    def test_step_one_roots(self, medium_graph, rng):
+        batch = stepper.init_batch(DeepWalk(3), medium_graph, 4, None, rng)
+        batch.append_step(np.arange(4)[:, None])
+        prev = stepper.prev_transits_for(batch, 1, np.arange(4),
+                                         np.zeros(4, dtype=np.int64))
+        assert np.array_equal(prev, batch.roots[:, 0])
+
+    def test_step_two_previous_step(self, medium_graph, rng):
+        batch = stepper.init_batch(DeepWalk(3), medium_graph, 4, None, rng)
+        batch.append_step(np.array([[10], [11], [12], [13]]))
+        batch.append_step(np.array([[20], [21], [22], [23]]))
+        prev = stepper.prev_transits_for(batch, 2, np.arange(4),
+                                         np.zeros(4, dtype=np.int64))
+        assert list(prev) == [10, 11, 12, 13]
+
+
+class TestIndividualStep:
+    def test_scatter_back_shape(self, medium_graph, rng):
+        app = KHop((4,))
+        batch = stepper.init_batch(app, medium_graph, 8, None, rng)
+        transits = app.transits_for_step(batch, 0)
+        ids, cols, vals = flatten_transits(transits)
+        out, info = stepper.run_individual_step(
+            app, medium_graph, batch, transits, 0, rng, ids, cols, vals)
+        assert out.shape == (8, 4)
+        assert (out != NULL_VERTEX).all()
+
+    def test_null_transits_stay_null(self, medium_graph, rng):
+        app = DeepWalk(3)
+        batch = stepper.init_batch(app, medium_graph, 3, None, rng)
+        transits = np.array([[NULL_VERTEX], [0], [NULL_VERTEX]])
+        ids, cols, vals = flatten_transits(transits)
+        out, _ = stepper.run_individual_step(
+            app, medium_graph, batch, transits, 0, rng, ids, cols, vals)
+        assert out[0, 0] == NULL_VERTEX
+        assert out[2, 0] == NULL_VERTEX
+
+    def test_prev_transits_threaded_for_node2vec(self, medium_graph, rng):
+        app = Node2Vec(walk_length=3)
+        batch = stepper.init_batch(app, medium_graph, 8, None, rng)
+        batch.append_step(app.transits_for_step(batch, 0))
+        transits = app.transits_for_step(batch, 1)
+        ids, cols, vals = flatten_transits(transits)
+        out, info = stepper.run_individual_step(
+            app, medium_graph, batch, transits, 1, rng, ids, cols, vals)
+        assert out.shape == (8, 1)
+
+
+class TestCollectiveStep:
+    def test_sizes_reported(self, medium_graph, rng):
+        app = Layer(step_size=5, max_size=50)
+        batch = stepper.init_batch(app, medium_graph, 4, None, rng)
+        transits = app.transits_for_step(batch, 0)
+        out, info, edges, sizes = stepper.run_collective_step(
+            app, medium_graph, batch, transits, 0, rng)
+        expected = [medium_graph.degree(int(r)) for r in batch.roots[:, 0]]
+        assert list(sizes) == expected
+
+    def test_lazy_path_skips_materialisation(self, medium_graph, rng,
+                                             monkeypatch):
+        import repro.core.stepper as stepper_mod
+        calls = []
+        original = stepper_mod.build_combined_neighborhood
+
+        def spy(graph, transits):
+            calls.append(1)
+            return original(graph, transits)
+
+        monkeypatch.setattr(stepper_mod, "build_combined_neighborhood",
+                            spy)
+        app = Layer(step_size=5, max_size=50)  # needs_combined_values=False
+        batch = stepper.init_batch(app, medium_graph, 4, None, rng)
+        transits = app.transits_for_step(batch, 0)
+        stepper.run_collective_step(app, medium_graph, batch, transits,
+                                    0, rng)
+        assert not calls
+
+    def test_reference_forces_materialisation(self, medium_graph, rng,
+                                              monkeypatch):
+        import repro.core.stepper as stepper_mod
+        calls = []
+        original = stepper_mod.build_combined_neighborhood
+
+        def spy(graph, transits):
+            calls.append(1)
+            return original(graph, transits)
+
+        monkeypatch.setattr(stepper_mod, "build_combined_neighborhood",
+                            spy)
+        app = Layer(step_size=2, max_size=6)
+        batch = stepper.init_batch(app, medium_graph, 2, None, rng)
+        transits = app.transits_for_step(batch, 0)
+        stepper.run_collective_step(app, medium_graph, batch, transits,
+                                    0, rng, use_reference=True)
+        assert calls

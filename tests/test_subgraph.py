@@ -1,0 +1,115 @@
+"""Sample -> GNN structure conversion utilities."""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import ClusterGCN, FastGCN
+from repro.api.sample import SampleBatch
+from repro.api.types import NULL_VERTEX
+from repro.core.engine import NextDoorEngine
+from repro.train.subgraph import (
+    LocalCSR,
+    induced_adjacency,
+    layer_matrix,
+    unique_vertices,
+)
+
+
+class TestLocalCSR:
+    def test_dense_and_matvec_agree(self):
+        indptr = np.array([0, 2, 3])
+        indices = np.array([0, 1, 1])
+        values = np.array([0.5, 0.5, 1.0])
+        csr = LocalCSR(indptr, indices, values, np.array([7, 9]))
+        x = np.array([[1.0], [2.0]])
+        assert np.allclose(csr.dense() @ x, csr.matvec(x))
+
+    def test_nnz(self):
+        csr = LocalCSR(np.array([0, 1]), np.array([0]), np.ones(1),
+                       np.array([3]))
+        assert csr.nnz == 1
+        assert csr.num_rows == 1
+
+
+class TestInducedAdjacency:
+    def test_clustergcn_rows_normalised(self, medium_graph):
+        app = ClusterGCN(num_clusters=8, clusters_per_sample=2)
+        result = NextDoorEngine().run(app, medium_graph, num_samples=2,
+                                      seed=0)
+        csr = induced_adjacency(result.batch, 0)
+        assert csr.num_rows > 0
+        dense = csr.dense()
+        sums = dense.sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_unnormalised_counts_edges(self, medium_graph):
+        app = ClusterGCN(num_clusters=8, clusters_per_sample=2)
+        result = NextDoorEngine().run(app, medium_graph, num_samples=1,
+                                      seed=0)
+        csr = induced_adjacency(result.batch, 0, normalize=False)
+        assert csr.nnz == result.batch.sample_edges(0).shape[0]
+
+    def test_local_to_global_mapping(self, medium_graph):
+        app = ClusterGCN(num_clusters=8, clusters_per_sample=2)
+        result = NextDoorEngine().run(app, medium_graph, num_samples=1,
+                                      seed=0)
+        csr = induced_adjacency(result.batch, 0, normalize=False)
+        # Every local edge maps back to a real graph edge.
+        for row in range(min(csr.num_rows, 50)):
+            lo, hi = csr.indptr[row], csr.indptr[row + 1]
+            u = int(csr.local_to_global[row])
+            for col in csr.indices[lo:hi]:
+                assert medium_graph.has_edge(u,
+                                             int(csr.local_to_global[col]))
+
+    def test_empty_sample(self, tiny_graph):
+        batch = SampleBatch(tiny_graph,
+                            np.full((1, 1), NULL_VERTEX, dtype=np.int64))
+        csr = induced_adjacency(batch, 0)
+        assert csr.num_rows == 0
+
+
+class TestLayerMatrix:
+    def test_rows_normalised_bipartite(self, medium_graph):
+        app = FastGCN(step_size=16, batch_size=8)
+        result = NextDoorEngine().run(app, medium_graph, num_samples=4,
+                                      seed=0)
+        transits, new, matrix = layer_matrix(result.batch, 0, step=0)
+        assert matrix.shape == (transits.size, new.size)
+        sums = matrix.sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_entries_are_graph_edges(self, medium_graph):
+        app = FastGCN(step_size=16, batch_size=8)
+        result = NextDoorEngine().run(app, medium_graph, num_samples=4,
+                                      seed=0)
+        transits, new, matrix = layer_matrix(result.batch, 1, step=1)
+        rows, cols = np.nonzero(matrix)
+        for i, j in zip(rows, cols):
+            assert medium_graph.has_edge(int(transits[i]), int(new[j]))
+
+    def test_out_of_range_step(self, medium_graph):
+        app = FastGCN(step_size=8, batch_size=4)
+        result = NextDoorEngine().run(app, medium_graph, num_samples=2,
+                                      seed=0)
+        with pytest.raises(IndexError):
+            layer_matrix(result.batch, 0, step=99)
+
+
+class TestUniqueVertices:
+    def test_relabel_round_trip(self):
+        arrays = [np.array([[5, 9], [5, NULL_VERTEX]]),
+                  np.array([[9, 12]])]
+        verts, relabelled = unique_vertices(arrays)
+        assert list(verts) == [5, 9, 12]
+        # Local ids map back to the original vertices.
+        for original, local in zip(arrays, relabelled):
+            mask = original != NULL_VERTEX
+            assert np.array_equal(verts[local[mask]], original[mask])
+            assert (local[~mask] == NULL_VERTEX).all()
+
+    def test_all_null(self):
+        verts, relabelled = unique_vertices(
+            [np.full((2, 2), NULL_VERTEX, dtype=np.int64)])
+        assert verts.size == 0
+        assert (relabelled[0] == NULL_VERTEX).all()

@@ -1,0 +1,179 @@
+"""Training substrate: layers, model, trainer, epoch cost model."""
+
+import numpy as np
+import pytest
+
+from repro.api.types import NULL_VERTEX
+from repro.train.epoch_model import EpochCostModel, GNN_CONFIGS
+from repro.train.layers import (
+    Dense,
+    mean_aggregate,
+    relu,
+    relu_grad,
+    softmax_cross_entropy,
+)
+from repro.train.models import GraphSAGEModel
+from repro.train.trainer import (
+    TrainConfig,
+    Trainer,
+    synthetic_features_and_labels,
+)
+
+
+class TestLayers:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert list(relu(x)) == [0.0, 0.0, 2.0]
+        assert list(relu_grad(x)) == [0.0, 0.0, 1.0]
+
+    def test_dense_shapes(self, rng):
+        layer = Dense(4, 3, rng)
+        out = layer.forward(np.ones((8, 4)))
+        assert out.shape == (8, 3)
+        grad_in = layer.backward(np.ones((8, 3)), lr=0.0)
+        assert grad_in.shape == (8, 4)
+
+    def test_dense_sgd_reduces_loss(self, rng):
+        layer = Dense(4, 2, rng)
+        x = rng.normal(size=(64, 4))
+        target = np.zeros((64, 2))
+        for _ in range(50):
+            out = layer.forward(x)
+            layer.backward(out - target, lr=0.1)
+        assert np.abs(layer.forward(x)).mean() < 0.2
+
+    def test_softmax_cross_entropy_gradient(self, rng):
+        """Analytic gradient matches a finite-difference check."""
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 1])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-5
+        for i in range(3):
+            for j in range(4):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                loss2, _ = softmax_cross_entropy(bumped, labels)
+                numeric = (loss2 - loss) / eps
+                assert numeric == pytest.approx(grad[i, j], abs=1e-3)
+
+    def test_softmax_loss_positive(self, rng):
+        logits = rng.normal(size=(5, 3))
+        loss, _ = softmax_cross_entropy(logits, np.zeros(5, dtype=int))
+        assert loss > 0
+
+    def test_mean_aggregate(self):
+        feats = np.array([[1.0], [3.0], [5.0]])
+        ids = np.array([[0, 1], [2, NULL_VERTEX]])
+        out = mean_aggregate(feats, ids, NULL_VERTEX)
+        assert out[0, 0] == pytest.approx(2.0)
+        assert out[1, 0] == pytest.approx(5.0)
+
+    def test_mean_aggregate_all_null(self):
+        feats = np.ones((3, 2))
+        ids = np.full((1, 4), NULL_VERTEX)
+        out = mean_aggregate(feats, ids, NULL_VERTEX)
+        assert (out == 0).all()
+
+
+class TestModel:
+    def test_forward_shapes(self, rng):
+        model = GraphSAGEModel(8, 16, 3, seed=0)
+        feats = rng.normal(size=(100, 8))
+        roots = np.arange(10)
+        hops = [rng.integers(0, 100, size=(10, 5)),
+                rng.integers(0, 100, size=(10, 15))]
+        logits = model.forward(roots, hops, feats)
+        assert logits.shape == (10, 3)
+
+    def test_train_step_reduces_loss(self, rng):
+        model = GraphSAGEModel(8, 16, 3, seed=0)
+        feats = rng.normal(size=(100, 8))
+        labels = rng.integers(0, 3, size=100)
+        feats[np.arange(100), labels] += 4.0  # separable signal
+        roots = np.arange(64)
+        hops = [rng.integers(0, 100, size=(64, 5))]
+        first = model.train_step(roots, hops, feats, labels, lr=0.5)
+        for _ in range(60):
+            last = model.train_step(roots, hops, feats, labels, lr=0.5)
+        assert last < first
+
+    def test_accuracy_and_predict(self, rng):
+        model = GraphSAGEModel(4, 8, 2, seed=0)
+        feats = rng.normal(size=(20, 4))
+        labels = rng.integers(0, 2, size=20)
+        roots = np.arange(20)
+        hops = [rng.integers(0, 20, size=(20, 3))]
+        acc = model.accuracy(roots, hops, feats, labels)
+        assert 0.0 <= acc <= 1.0
+
+    def test_flops_positive(self):
+        model = GraphSAGEModel(8, 16, 3)
+        assert model.flops_per_batch(64) > 0
+        assert model.num_params > 0
+
+
+class TestTrainer:
+    def test_synthetic_data_learnable_shape(self, medium_graph):
+        feats, labels = synthetic_features_and_labels(medium_graph, 16, 4,
+                                                      seed=0)
+        assert feats.shape == (medium_graph.num_vertices, 16)
+        assert set(np.unique(labels)) <= set(range(4))
+
+    def test_training_beats_chance(self, medium_graph):
+        cfg = TrainConfig(batch_size=256, epochs=8, hidden_dim=32,
+                          feature_dim=16, num_classes=4,
+                          fanouts=(5, 3), lr=0.5, seed=0)
+        trainer = Trainer(medium_graph, cfg)
+        history = trainer.train()
+        assert history[-1].accuracy > 0.4  # chance is 0.25
+        assert history[-1].accuracy >= history[0].accuracy - 0.05
+
+    def test_epoch_stats_recorded(self, medium_graph):
+        cfg = TrainConfig(batch_size=512, epochs=1, fanouts=(4, 2),
+                          feature_dim=8, hidden_dim=16)
+        trainer = Trainer(medium_graph, cfg)
+        stats = trainer.run_epoch(0)
+        assert stats.num_batches >= 1
+        assert stats.sampling_seconds_modeled > 0
+        assert np.isfinite(stats.loss)
+
+
+class TestEpochCostModel:
+    def test_fractions_in_unit_interval(self):
+        model = EpochCostModel()
+        for gnn in GNN_CONFIGS:
+            for d in ("ppi", "orkut", "livej"):
+                frac = model.sampling_fraction(gnn, d)
+                assert 0.0 < frac < 1.0, (gnn, d)
+
+    def test_nextdoor_epoch_never_slower(self):
+        model = EpochCostModel()
+        for gnn in ("FastGCN", "LADIES", "ClusterGCN"):
+            for d in ("reddit", "orkut", "patents", "livej"):
+                if model.out_of_memory(gnn, d):
+                    continue
+                assert model.end_to_end_speedup(gnn, d) > 0.95, (gnn, d)
+
+    def test_speedup_grows_with_scale_for_importance_samplers(self):
+        model = EpochCostModel()
+        for gnn in ("FastGCN", "LADIES"):
+            assert (model.end_to_end_speedup(gnn, "orkut")
+                    > model.end_to_end_speedup(gnn, "ppi"))
+
+    def test_only_clustergcn_orkut_ooms(self):
+        model = EpochCostModel()
+        assert model.out_of_memory("ClusterGCN", "orkut")
+        assert not model.out_of_memory("ClusterGCN", "livej")
+        assert not model.out_of_memory("FastGCN", "orkut")
+        assert not model.out_of_memory("GraphSAGE", "orkut")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            EpochCostModel().epoch("FastGCN", "ppi", backend="magic")
+
+    def test_graphsage_copy_penalty(self):
+        model = EpochCostModel()
+        costs = model.epoch("GraphSAGE", "livej", "nextdoor")
+        assert costs.copy_seconds > 0
+        fastgcn = model.epoch("FastGCN", "livej", "nextdoor")
+        assert fastgcn.copy_seconds == 0.0

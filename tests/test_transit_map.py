@@ -1,0 +1,94 @@
+"""Transit→samples map and kernel-class partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.api.types import NULL_VERTEX
+from repro.core.scheduling import (
+    BLOCK_LIMIT,
+    SUBWARP_LIMIT,
+    classify_transits,
+)
+from repro.core.transit_map import build_transit_map, flatten_transits
+
+
+class TestFlatten:
+    def test_basic(self):
+        transits = np.array([[3, 5], [5, NULL_VERTEX]])
+        sample_ids, cols, vals = flatten_transits(transits)
+        assert list(sample_ids) == [0, 0, 1]
+        assert list(cols) == [0, 1, 0]
+        assert list(vals) == [3, 5, 5]
+
+    def test_all_null(self):
+        transits = np.full((3, 2), NULL_VERTEX)
+        sample_ids, cols, vals = flatten_transits(transits)
+        assert vals.size == 0
+
+
+class TestBuildTransitMap:
+    def test_grouping(self):
+        transits = np.array([[4], [1], [4], [6], [4]])
+        tmap = build_transit_map(transits)
+        assert list(tmap.unique_transits) == [1, 4, 6]
+        assert list(tmap.counts) == [1, 3, 1]
+        assert tmap.num_pairs == 5
+        assert tmap.num_transits == 3
+
+    def test_pairs_of_slices(self):
+        transits = np.array([[4], [1], [4], [6], [4]])
+        tmap = build_transit_map(transits)
+        four = tmap.pairs_of(1)
+        samples_of_4 = sorted(tmap.sample_ids[four].tolist())
+        assert samples_of_4 == [0, 2, 4]
+        assert (tmap.transit_vals[four] == 4).all()
+
+    def test_sorted_by_transit(self):
+        transits = np.array([[9], [2], [7], [2]])
+        tmap = build_transit_map(transits)
+        assert (np.diff(tmap.transit_vals) >= 0).all()
+
+    def test_null_pairs_dropped_but_counted_in_total(self):
+        transits = np.array([[4, NULL_VERTEX], [NULL_VERTEX, NULL_VERTEX]])
+        tmap = build_transit_map(transits)
+        assert tmap.num_pairs == 1
+        assert tmap.num_total_pairs == 4
+
+    def test_cols_scatter_back(self):
+        transits = np.array([[3, 5], [5, 3]])
+        tmap = build_transit_map(transits)
+        rebuilt = np.full((2, 2), NULL_VERTEX)
+        rebuilt[tmap.sample_ids, tmap.cols] = tmap.transit_vals
+        assert np.array_equal(rebuilt, transits)
+
+    def test_counts_sum_to_pairs(self, medium_graph, rng):
+        transits = rng.integers(0, medium_graph.num_vertices, size=(500, 4))
+        tmap = build_transit_map(transits)
+        assert tmap.counts.sum() == tmap.num_pairs
+        assert np.array_equal(np.diff(tmap.offsets), tmap.counts)
+
+
+class TestClassify:
+    def test_boundaries_table2(self):
+        # needed = counts * m: <32 sub-warp, 32..1024 block, >1024 grid.
+        counts = np.array([31, 32, 1024, 1025])
+        classes = classify_transits(counts, m=1)
+        assert list(classes["subwarp"]) == [0]
+        assert list(classes["block"]) == [1, 2]
+        assert list(classes["grid"]) == [3]
+
+    def test_m_scales_needed(self):
+        counts = np.array([4])
+        assert list(classify_transits(counts, m=10)["block"]) == [0]
+        assert list(classify_transits(counts, m=1)["subwarp"]) == [0]
+
+    def test_partition_is_exact(self, rng):
+        counts = rng.integers(1, 3000, size=200)
+        classes = classify_transits(counts, m=1)
+        combined = np.concatenate([classes["subwarp"], classes["block"],
+                                   classes["grid"]])
+        assert sorted(combined.tolist()) == list(range(200))
+
+    def test_zero_m_treated_as_one(self):
+        counts = np.array([10])
+        assert list(classify_transits(counts, m=0)["subwarp"]) == [0]

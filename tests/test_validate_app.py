@@ -1,0 +1,133 @@
+"""validate_app: the contract checker for custom samplers."""
+
+import numpy as np
+import pytest
+
+from repro.api.app import SamplingApp, SamplingType
+from repro.api.apps import (
+    ClusterGCN,
+    DeepWalk,
+    FastGCN,
+    KHop,
+    LADIES,
+    Layer,
+    MHRW,
+    MVS,
+    MultiRW,
+    Node2Vec,
+    PPR,
+    RWR,
+)
+from repro.api.types import NULL_VERTEX
+from repro.api.validate import AppValidationError, validate_app
+
+ALL_BUILTINS = [
+    lambda: DeepWalk(5), lambda: PPR(max_steps=20),
+    lambda: Node2Vec(walk_length=5),
+    lambda: MultiRW(num_roots=4, walk_length=5),
+    lambda: KHop((4, 2)), lambda: MVS(batch_size=4),
+    lambda: Layer(step_size=5, max_size=15),
+    lambda: FastGCN(step_size=8, batch_size=4),
+    lambda: LADIES(step_size=8, batch_size=4),
+    lambda: ClusterGCN(num_clusters=8, clusters_per_sample=2),
+    lambda: RWR(restart_prob=0.2, walk_length=5),
+    lambda: MHRW(walk_length=5),
+]
+
+
+class TestBuiltinsValidate:
+    @pytest.mark.parametrize("factory", ALL_BUILTINS)
+    def test_every_builtin_passes(self, factory, medium_graph):
+        checks = validate_app(factory(), medium_graph)
+        assert "end-to-end engine run" in checks
+        assert "seeded determinism" in checks
+
+
+class GoodCustom(SamplingApp):
+    name = "good"
+
+    def steps(self):
+        return 2
+
+    def sample_size(self, step):
+        return 2
+
+    def next(self, sample, transits, src_edges, step, rng):
+        if src_edges.size == 0:
+            return NULL_VERTEX
+        return int(src_edges[0])
+
+
+class TestCustomApps:
+    def test_good_custom_passes(self, medium_graph):
+        assert validate_app(GoodCustom(), medium_graph)
+
+    def test_bad_steps_type(self, medium_graph):
+        class Bad(GoodCustom):
+            def steps(self):
+                return "lots"
+        with pytest.raises(AppValidationError, match="steps"):
+            validate_app(Bad(), medium_graph)
+
+    def test_bad_steps_value(self, medium_graph):
+        class Bad(GoodCustom):
+            def steps(self):
+                return 0
+        with pytest.raises(AppValidationError, match="steps"):
+            validate_app(Bad(), medium_graph)
+
+    def test_bad_sample_size(self, medium_graph):
+        class Bad(GoodCustom):
+            def sample_size(self, step):
+                return -3
+        with pytest.raises(AppValidationError, match="sample_size"):
+            validate_app(Bad(), medium_graph)
+
+    def test_next_out_of_range(self, medium_graph):
+        class Bad(GoodCustom):
+            def next(self, sample, transits, src_edges, step, rng):
+                return 10 ** 9
+        with pytest.raises(AppValidationError, match="invalid vertex"):
+            validate_app(Bad(), medium_graph)
+
+    def test_bad_roots_shape(self, medium_graph):
+        class Bad(GoodCustom):
+            def initial_roots(self, graph, num_samples, rng):
+                return np.zeros(num_samples, dtype=np.int64)[:, None].T
+        with pytest.raises(AppValidationError, match="initial_roots"):
+            validate_app(Bad(), medium_graph)
+
+    def test_bad_roots_range(self, medium_graph):
+        class Bad(GoodCustom):
+            def initial_roots(self, graph, num_samples, rng):
+                return np.full((num_samples, 1), 10 ** 9)
+        with pytest.raises(AppValidationError, match="out-of-range"):
+            validate_app(Bad(), medium_graph)
+
+    def test_bad_vectorised_shape(self, medium_graph):
+        class Bad(GoodCustom):
+            def sample_neighbors(self, graph, transits, step, rng,
+                                 prev_transits=None, batch=None,
+                                 sample_ids=None):
+                from repro.api.types import StepInfo
+                return np.zeros((1, 1), dtype=np.int64), StepInfo()
+        with pytest.raises(AppValidationError, match="must return"):
+            validate_app(Bad(), medium_graph)
+
+    def test_nondeterministic_state_detected(self, medium_graph):
+        import itertools
+        counter = itertools.count()
+
+        class Bad(GoodCustom):
+            def sample_neighbors(self, graph, transits, step, rng,
+                                 prev_transits=None, batch=None,
+                                 sample_ids=None):
+                from repro.api.types import StepInfo
+                transits = np.asarray(transits)
+                # Ignores rng: uses global state across runs.
+                base = next(counter)
+                out = np.full((transits.size, self.sample_size(step)),
+                              base % graph.num_vertices, dtype=np.int64)
+                return out, StepInfo()
+        with pytest.raises(AppValidationError, match="different samples"):
+            validate_app(Bad(), medium_graph)
