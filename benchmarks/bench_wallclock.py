@@ -1,0 +1,206 @@
+"""Wall-clock benchmark harness for the functional hot path.
+
+Unlike the ``bench_fig*`` suite — which reports the *modeled* GPU
+seconds of each engine — this harness measures how long the
+reproduction itself takes to produce samples on the host.  The modeled
+figures are insensitive to Python-level performance; this file is the
+perf trajectory for the repo, so speedups and regressions of the shared
+functional hot path (transit grouping, ragged gathers, sampling
+kernels) are visible across PRs.
+
+Workload mix (the representative profile from the paper's evaluation):
+
+- ``DeepWalk-100``  — long biased random walk, one transit per sample;
+  dominated by the per-step scheduling-index build and weighted draws.
+- ``k-hop (25,10)`` — multiplicative individual sampling; dominated by
+  the uniform-neighbor gather.
+- ``LADIES``        — collective sampling with layer-adjacency
+  recording; dominated by the combined-neighborhood gather and
+  edge-membership probes.
+
+Each workload runs on the LiveJ stand-in under every engine that shares
+the functional stepper (NextDoor, SP, TP, Frontier, MessagePassing).
+Results land in ``BENCH_wallclock.json`` at the repo root; when a
+pre-optimisation baseline archive exists
+(``benchmarks/results/wallclock_pre_pr.json``), per-cell speedups
+against it are included.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py            # full
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick    # smoke
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --output benchmarks/results/wallclock_pre_pr.json          # rebase
+
+It is also collected by pytest as a single smoke test (quick mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+if os.path.join(REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.api.apps import DeepWalk, KHop, LADIES  # noqa: E402
+from repro.baselines import (  # noqa: E402
+    FrontierEngine,
+    MessagePassingEngine,
+    SampleParallelEngine,
+    VanillaTPEngine,
+)
+from repro.core.engine import NextDoorEngine  # noqa: E402
+from repro.graph import datasets  # noqa: E402
+
+__all__ = ["run_wallclock", "main"]
+
+#: Default output path — the repo-root perf trajectory file.
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
+
+#: Pre-optimisation numbers this PR's speedups are measured against.
+BASELINE_PATH = os.path.join(REPO_ROOT, "benchmarks", "results",
+                             "wallclock_pre_pr.json")
+
+GRAPH = "livej"
+
+#: (name, app factory, weighted graph?, samples full, samples quick)
+WORKLOADS = (
+    ("DeepWalk-100", lambda: DeepWalk(walk_length=100), True, 16000, 2000),
+    ("k-hop-25x10", lambda: KHop(fanouts=(25, 10)), False, 8192, 1024),
+    ("LADIES", lambda: LADIES(step_size=64, batch_size=64), False, 512, 128),
+)
+
+ENGINES = (
+    ("NextDoor", NextDoorEngine),
+    ("SP", SampleParallelEngine),
+    ("TP", VanillaTPEngine),
+    ("Frontier", FrontierEngine),
+    ("MessagePassing", MessagePassingEngine),
+)
+
+
+def _time_run(engine, app_factory: Callable, graph, num_samples: int,
+              repeats: int, seed: int = 7) -> Dict[str, float]:
+    """Best-of-``repeats`` wall time of one engine run (plus one
+    untimed warm-up that also warms lazy graph caches)."""
+    engine.run(app_factory(), graph, num_samples=num_samples, seed=seed)
+    best = float("inf")
+    for _ in range(repeats):
+        app = app_factory()
+        t0 = time.perf_counter()
+        result = engine.run(app, graph, num_samples=num_samples, seed=seed)
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+    return {
+        "seconds": best,
+        "samples": int(num_samples),
+        "samples_per_sec": num_samples / best if best > 0 else float("inf"),
+        "steps_run": int(result.steps_run),
+    }
+
+
+def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
+                  seed: int = 7) -> Dict:
+    """Run the full workload × engine grid; returns the result dict."""
+    repeats = repeats if repeats is not None else (1 if quick else 3)
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for wl_name, app_factory, weighted, full_n, quick_n in WORKLOADS:
+        num_samples = quick_n if quick else full_n
+        graph = datasets.load(GRAPH, weighted=weighted)
+        results[wl_name] = {}
+        for eng_name, eng_cls in ENGINES:
+            cell = _time_run(eng_cls(), app_factory, graph, num_samples,
+                             repeats, seed=seed)
+            results[wl_name][eng_name] = cell
+            print(f"{wl_name:>14s} | {eng_name:<14s} "
+                  f"{cell['seconds']*1e3:9.1f} ms  "
+                  f"({cell['samples_per_sec']:,.0f} samples/s)")
+    return {
+        "graph": GRAPH,
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+    }
+
+
+def _attach_speedups(report: Dict, baseline_path: str) -> None:
+    """Merge pre-PR numbers + speedup ratios into ``report`` when a
+    comparable (same-mode) baseline archive exists."""
+    if not os.path.exists(baseline_path):
+        return
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    if baseline.get("mode") != report["mode"]:
+        return  # quick runs aren't comparable to full baselines
+    speedups: Dict[str, Dict[str, float]] = {}
+    for wl, engines in report["results"].items():
+        base_wl = baseline.get("results", {}).get(wl, {})
+        for eng, cell in engines.items():
+            before = base_wl.get(eng, {}).get("seconds")
+            if before and cell["seconds"] > 0:
+                speedups.setdefault(wl, {})[eng] = before / cell["seconds"]
+    report["baseline"] = {
+        "path": os.path.relpath(baseline_path, REPO_ROOT),
+        "results": baseline.get("results", {}),
+    }
+    report["speedup_vs_baseline"] = speedups
+    for wl, engines in speedups.items():
+        for eng, ratio in engines.items():
+            print(f"{wl:>14s} | {eng:<14s} speedup {ratio:5.2f}x")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sample counts, one repeat (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per cell (default 3, quick 1)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="pre-PR baseline JSON to compute speedups "
+                             "against (skipped if missing)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    out_dir = os.path.dirname(os.path.abspath(args.output))
+    if not os.path.isdir(out_dir):
+        parser.error(f"output directory does not exist: {out_dir}")
+
+    report = run_wallclock(quick=args.quick, repeats=args.repeats,
+                           seed=args.seed)
+    if os.path.abspath(args.output) != os.path.abspath(args.baseline):
+        _attach_speedups(report, args.baseline)
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_wallclock_smoke(tmp_path):
+    """Pytest smoke: the harness runs end-to-end in quick mode."""
+    report = run_wallclock(quick=True, repeats=1)
+    for wl, engines in report["results"].items():
+        for eng, cell in engines.items():
+            assert cell["seconds"] > 0, (wl, eng)
+            assert cell["steps_run"] > 0, (wl, eng)
+    out = tmp_path / "BENCH_wallclock.json"
+    out.write_text(json.dumps(report))
+    assert json.loads(out.read_text())["results"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

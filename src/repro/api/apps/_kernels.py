@@ -15,6 +15,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.api.types import NULL_VERTEX
+from repro.core.ragged import exclusive_offsets, ragged_gather
 from repro.graph.csr import CSRGraph
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "weighted_neighbors",
     "segment_uniform_choice",
     "build_combined_neighborhood",
+    "rowwise_searchsorted",
 ]
 
 
@@ -33,26 +35,64 @@ def uniform_neighbors(graph: CSRGraph, transits: np.ndarray, m: int,
     NULL rows.
     """
     transits = np.asarray(transits, dtype=np.int64)
-    out = np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
     live = transits != NULL_VERTEX
-    if not live.any() or m == 0:
-        return out
-    t = transits[live]
-    deg = (graph.indptr[t + 1] - graph.indptr[t]).astype(np.int64)
+    if m == 0 or not live.any():
+        return np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
+    all_live = bool(live.all())
+    t = transits if all_live else transits[live]
+    deg = graph.degrees_array[t]
     has_nbrs = deg > 0
-    if not has_nbrs.any():
-        return out
-    t = t[has_nbrs]
-    deg = deg[has_nbrs]
+    all_nbrs = bool(has_nbrs.all())
+    if not all_nbrs:
+        if not has_nbrs.any():
+            return np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
+        t = t[has_nbrs]
+        deg = deg[has_nbrs]
     # Uniform index into each row, for each of the m draws.
     r = rng.random(size=(t.size, m))
     picks = (r * deg[:, None]).astype(np.int64)
     picks = np.minimum(picks, (deg - 1)[:, None])
     rows = graph.indptr[t][:, None] + picks
     sampled = graph.indices[rows]
-    live_idx = np.nonzero(live)[0][has_nbrs]
+    if all_live and all_nbrs:
+        return sampled.astype(np.int64, copy=False)
+    out = np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
+    live_idx = np.nonzero(live)[0]
+    if not all_nbrs:
+        live_idx = live_idx[has_nbrs]
     out[live_idx] = sampled
     return out
+
+
+def rowwise_searchsorted(values: np.ndarray, targets: np.ndarray,
+                         lo: np.ndarray, hi: np.ndarray,
+                         side: str = "left") -> np.ndarray:
+    """Vectorised per-row bisection with ``np.searchsorted`` semantics.
+
+    For every element, finds the first index in ``[lo, hi)`` with
+    ``values[idx] >= target`` (``side="left"``) or ``> target``
+    (``side="right"``), returning ``hi`` when no such index exists.
+    Because binary search on a monotone array is path-independent, the
+    result is identical to searching the row slice itself — but all
+    rows are answered together, walking ``log2(max row width)`` levels
+    instead of one ``searchsorted`` call per row.
+
+    ``lo``/``hi`` broadcast against ``targets``.
+    """
+    lo, hi, targets = np.broadcast_arrays(lo, hi, targets)
+    lo = lo.astype(np.int64)        # also copies the broadcast views
+    hi = hi.astype(np.int64)
+    width = int((hi - lo).max(initial=0))
+    last = values.size - 1
+    for _ in range(max(width, 1).bit_length()):
+        active = lo < hi
+        mid = (lo + hi) >> 1
+        probe = values[np.minimum(mid, last)]
+        descend = probe < targets if side == "left" else probe <= targets
+        go_right = active & descend
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    return lo
 
 
 def weighted_neighbors(graph: CSRGraph, transits: np.ndarray, m: int,
@@ -63,31 +103,44 @@ def weighted_neighbors(graph: CSRGraph, transits: np.ndarray, m: int,
     if not graph.is_weighted:
         return uniform_neighbors(graph, transits, m, rng)
     transits = np.asarray(transits, dtype=np.int64)
-    out = np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
     live = transits != NULL_VERTEX
-    if not live.any() or m == 0:
-        return out
-    t = transits[live]
+    if m == 0 or not live.any():
+        return np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
+    all_live = bool(live.all())
+    t = transits if all_live else transits[live]
     starts = graph.indptr[t]
-    ends = graph.indptr[t + 1]
-    deg = ends - starts
+    deg = graph.degrees_array[t]
     has_nbrs = deg > 0
-    if not has_nbrs.any():
-        return out
-    t = t[has_nbrs]
-    starts = starts[has_nbrs]
-    ends = ends[has_nbrs]
+    all_nbrs = bool(has_nbrs.all())
+    if not all_nbrs:
+        if not has_nbrs.any():
+            return np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
+        t = t[has_nbrs]
+        starts = starts[has_nbrs]
+        deg = deg[has_nbrs]
+    ends = starts + deg
     cumsum = graph.global_weight_cumsum()
-    base = np.where(starts > 0, cumsum[starts - 1], 0.0)
-    totals = cumsum[ends - 1] - base
-    live_idx = np.nonzero(live)[0][has_nbrs]
-    for j in range(m):
-        # One global binary search answers every row at once: the
-        # cumsum is monotone and each row's mass spans its CSR slice.
-        target = base + rng.random(size=t.size) * totals
-        pos = np.searchsorted(cumsum, target, side="right")
-        pos = np.clip(pos, starts, ends - 1)
-        out[live_idx, j] = graph.indices[pos]
+    row_base, row_total = graph.weight_row_spans()
+    base = row_base[t]
+    totals = row_total[t]
+    # All m draws in one pass: row j of the (m, K) block is the j-th
+    # sequential rng.random(K) call, so the stream (and every sampled
+    # vertex) matches the draw-at-a-time loop bit for bit.  One global
+    # binary search answers every (draw, row) at once: the cumsum is
+    # monotone, each row's mass spans its CSR slice, and every target
+    # already sits inside its row's span (so only the top clamp for
+    # draws that land exactly on the row total is needed).
+    targets = base + rng.random(size=(m, t.size)) * totals
+    pos = np.searchsorted(cumsum, targets, side="right")
+    pos = np.minimum(pos, ends - 1)
+    sampled = graph.indices[pos].T
+    if all_live and all_nbrs:
+        return sampled.astype(np.int64, copy=False)
+    out = np.full((transits.size, m), NULL_VERTEX, dtype=np.int64)
+    live_idx = np.nonzero(live)[0]
+    if not all_nbrs:
+        live_idx = live_idx[has_nbrs]
+    out[live_idx] = sampled
     return out
 
 
@@ -127,22 +180,13 @@ def build_combined_neighborhood(
     flat = transits.ravel()
     live = flat != NULL_VERTEX
     deg = np.zeros(flat.size, dtype=np.int64)
-    deg[live] = graph.indptr[flat[live] + 1] - graph.indptr[flat[live]]
+    lv = flat[live]
+    deg[live] = graph.degrees_array[lv]
     per_sample = deg.reshape(num_samples, -1).sum(axis=1)
-    offsets = np.zeros(num_samples + 1, dtype=np.int64)
-    np.cumsum(per_sample, out=offsets[1:])
-    values = np.empty(int(offsets[-1]), dtype=np.int64)
-    # Gather each transit's row into its slot.  The ragged gather is a
-    # short Python loop over *transit columns*, not elements.
-    cursor = offsets[:-1].copy()
-    cols = transits.shape[1]
-    for c in range(cols):
-        col = transits[:, c]
-        col_live = col != NULL_VERTEX
-        idx = np.nonzero(col_live)[0]
-        for s in idx:
-            v = col[s]
-            row = graph.indices[graph.indptr[v]:graph.indptr[v + 1]]
-            values[cursor[s]:cursor[s] + row.size] = row
-            cursor[s] += row.size
-    return values, offsets
+    offsets = exclusive_offsets(per_sample)
+    # One ragged gather copies every live transit's CSR row into place.
+    # Live pairs are enumerated in row-major (sample, column) order, so
+    # the concatenation lands each sample's rows contiguously, columns
+    # in order — the same layout the per-sample cursor loop produced.
+    values, _ = ragged_gather(graph.indices, graph.indptr[lv], deg[live])
+    return values.astype(np.int64, copy=False), offsets

@@ -112,25 +112,31 @@ class ClusterGCN(SamplingApp):
     ) -> Optional[np.ndarray]:
         """Edges of the graph whose both endpoints are transits of the
         same sample: the induced cluster adjacency."""
+        from repro.core.ragged import ragged_gather
         rows = []
+        in_sample = np.zeros(graph.num_vertices, dtype=bool)
         for s in range(transits.shape[0]):
             verts = transits[s]
             verts = verts[verts != NULL_VERTEX]
             if verts.size == 0:
                 continue
-            in_sample = np.zeros(graph.num_vertices, dtype=bool)
             in_sample[verts] = True
-            starts = graph.indptr[verts]
-            ends = graph.indptr[verts + 1]
-            for u, lo, hi in zip(verts, starts, ends):
-                nbrs = graph.indices[lo:hi]
-                kept = nbrs[in_sample[nbrs]]
-                if kept.size:
-                    rows.append(np.stack([
-                        np.full(kept.size, s, dtype=np.int64),
-                        np.full(kept.size, u, dtype=np.int64),
-                        kept,
-                    ], axis=1))
+            # All the sample's adjacency rows in one ragged gather; the
+            # concatenation order (vertex order, neighbors in CSR
+            # order) matches the per-vertex loop it replaces.
+            deg = graph.degrees_array[verts]
+            nbrs, _ = ragged_gather(graph.indices, graph.indptr[verts],
+                                    deg)
+            u_rep = np.repeat(verts, deg)
+            keep = in_sample[nbrs]
+            in_sample[verts] = False
+            if keep.any():
+                kept = nbrs[keep].astype(np.int64)
+                rows.append(np.stack([
+                    np.full(kept.size, s, dtype=np.int64),
+                    u_rep[keep],
+                    kept,
+                ], axis=1))
         if not rows:
             return np.zeros((0, 3), dtype=np.int64)
         return np.concatenate(rows, axis=0)

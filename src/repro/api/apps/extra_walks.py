@@ -143,9 +143,8 @@ class MHRW(SamplingApp):
         if live.any():
             v = transits[live]
             u = out[live, 0]
-            deg_v = (graph.indptr[v + 1] - graph.indptr[v]).astype(float)
-            deg_u = np.maximum(graph.indptr[u + 1] - graph.indptr[u], 1
-                               ).astype(float)
+            deg_v = graph.degrees_array[v].astype(float)
+            deg_u = np.maximum(graph.degrees_array[u], 1).astype(float)
             reject = rng.random(size=v.size) > deg_v / deg_u
             stay = out[live, 0]
             stay[reject] = v[reject]

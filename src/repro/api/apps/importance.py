@@ -25,8 +25,10 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.api.app import SamplingApp
+from repro.api.apps._kernels import rowwise_searchsorted
 from repro.api.sample import Sample, SampleBatch
 from repro.api.types import NULL_VERTEX, SamplingType, StepInfo
+from repro.core.ragged import ragged_gather
 from repro.graph.csr import CSRGraph
 
 __all__ = ["FastGCN", "LADIES"]
@@ -107,20 +109,42 @@ class FastGCN(SamplingApp):
         step: int,
     ) -> Optional[np.ndarray]:
         """Record edges between each transit and each new vertex when
-        they exist in the graph (the sample's layer adjacency)."""
+        they exist in the graph (the sample's layer adjacency).
+
+        Probes are built only for live (transit, new-vertex) pairs of
+        the *same sample* — a ragged cross product assembled with
+        repeat/gather arithmetic instead of the dense ``S * T * V``
+        repeat/tile round trip — and answered in one
+        :meth:`~repro.graph.csr.CSRGraph.has_edges` batch (an O(1)
+        bitmap gather on graphs small enough to cache one).  Probe
+        order is (sample, transit-column, new-column) C-order, the same
+        enumeration the dense product produced, so the emitted edge
+        rows are identical.
+        """
         num_samples = transits.shape[0]
         t_width = transits.shape[1]
-        v_width = new_vertices.shape[1]
-        # All (sample, transit, new) combinations, filtered by liveness.
-        t_rep = np.repeat(transits, v_width, axis=1).ravel()
-        v_rep = np.tile(new_vertices, (1, t_width)).ravel()
-        s_rep = np.repeat(np.arange(num_samples), t_width * v_width)
-        live = (t_rep != NULL_VERTEX) & (v_rep != NULL_VERTEX)
-        t_rep, v_rep, s_rep = t_rep[live], v_rep[live], s_rep[live]
-        if t_rep.size == 0:
-            return np.zeros((0, 3), dtype=np.int64)
-        exists = graph.has_edges(t_rep, v_rep)
-        return np.stack([s_rep[exists], t_rep[exists], v_rep[exists]], axis=1)
+        empty = np.zeros((0, 3), dtype=np.int64)
+        flat_t = transits.ravel()
+        pair_idx = np.nonzero(flat_t != NULL_VERTEX)[0]
+        t_of_pair = flat_t[pair_idx]
+        s_of_pair = pair_idx // t_width
+        ns, nj = np.nonzero(new_vertices != NULL_VERTEX)
+        if t_of_pair.size == 0 or ns.size == 0:
+            return empty
+        # Each sample's live new vertices, grouped (np.nonzero walks
+        # row-major, so groups are contiguous and column-ascending).
+        new_vals = new_vertices[ns, nj]
+        nv_counts = np.bincount(ns, minlength=num_samples)
+        nv_offsets = np.zeros(num_samples + 1, dtype=np.int64)
+        np.cumsum(nv_counts, out=nv_offsets[1:])
+        # Cross every live transit pair with its sample's group.
+        reps = nv_counts[s_of_pair]
+        v_probe, _ = ragged_gather(new_vals, nv_offsets[s_of_pair], reps)
+        t_probe = np.repeat(t_of_pair, reps)
+        s_probe = np.repeat(s_of_pair, reps)
+        exists = graph.has_edges(t_probe, v_probe)
+        return np.stack([s_probe[exists], t_probe[exists],
+                         v_probe[exists]], axis=1)
 
 
 class LADIES(FastGCN):
@@ -128,8 +152,12 @@ class LADIES(FastGCN):
     the combined neighborhood of the sample's transits."""
 
     name = "LADIES"
-    #: LADIES *does* read the combined neighborhood: its candidates.
-    needs_combined_values = True
+    #: LADIES' candidates *are* the combined neighborhood, but the
+    #: two-level draw below samples it through the CSR structure
+    #: directly — the concatenated candidate array (which hub-heavy
+    #: transit sets blow up to tens of millions of entries) is never
+    #: materialised.
+    needs_combined_values = False
 
     def next(self, sample: Sample, transits: np.ndarray,
              src_edges: np.ndarray, step: int,
@@ -153,16 +181,88 @@ class LADIES(FastGCN):
     ) -> Tuple[np.ndarray, StepInfo]:
         out = np.full((batch.num_samples, self.step_size), NULL_VERTEX,
                       dtype=np.int64)
-        degrees = graph.degrees()
-        for s in range(batch.num_samples):
-            lo, hi = int(sample_offsets[s]), int(sample_offsets[s + 1])
-            candidates = neigh_values[lo:hi]
-            if candidates.size == 0:
-                continue
-            weights = degrees[candidates].astype(np.float64) + 1.0
-            cdf = np.cumsum(weights)
-            draws = rng.random(self.step_size) * cdf[-1]
-            picks = np.searchsorted(cdf, draws)
-            picks = np.minimum(picks, candidates.size - 1)
-            out[s] = candidates[picks]
+        t = np.asarray(transits, dtype=np.int64)
+        flat = t.ravel()
+        live_pair = flat != NULL_VERTEX
+        ecs, vertex_mass = self._edge_importance(graph)
+        mass = np.zeros(flat.size, dtype=np.float64)
+        mass[live_pair] = vertex_mass[flat[live_pair]]
+        # Zero-mass transits (degree 0) contribute no candidates; with
+        # them dropped, every per-sample transit-mass prefix is
+        # strictly increasing, which the boundary argument below needs.
+        pair_idx = np.nonzero(mass > 0)[0]
+        if pair_idx.size == 0:
+            return out, StepInfo(avg_compute_cycles=14.0)
+        pair_t = flat[pair_idx]
+        pair_s = pair_idx // t.shape[1]
+        # Per-sample cumulative transit mass via global cumsum minus
+        # segment base.  All masses are integer-valued (sums of
+        # deg + 1), so every value is exact in float64 and bit-equal to
+        # the prefix of the materialised candidate CDF at each
+        # transit's last candidate.
+        gmass = np.cumsum(mass[pair_idx])
+        counts = np.bincount(pair_s, minlength=t.shape[0])
+        offs = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offs[1:])
+        base = np.where(offs[:-1] > 0, gmass[offs[:-1] - 1], 0.0)
+        local_mass = gmass - np.repeat(base, counts)
+        live = np.nonzero(counts > 0)[0]
+        lo = offs[:-1][live]
+        hi = offs[1:][live]
+        totals = local_mass[hi - 1]
+        # One rng block: row k is the k-th live sample's sequential
+        # rng.random(step_size) call, so the stream matches the
+        # per-sample loop this replaces.
+        draws = rng.random((live.size, self.step_size)) * totals[:, None]
+        # Level 1: which transit's neighborhood the draw lands in.  A
+        # draw picks transit c iff it falls past every earlier
+        # transit's mass — the same index the flat searchsorted over
+        # the materialised CDF resolves to, because the transit prefix
+        # is that CDF evaluated at segment boundaries.
+        pc = rowwise_searchsorted(local_mass, draws, lo[:, None],
+                                  hi[:, None])
+        pc = np.minimum(pc, (hi - 1)[:, None])
+        rem = draws - np.where(pc > lo[:, None],
+                               local_mass[np.maximum(pc - 1, 0)], 0.0)
+        # Level 2: which neighbor within the chosen transit's CSR row.
+        # The row-local edge CDF is ``ecs`` minus the row base — exact
+        # (integer values) — so the bisection compares the identical
+        # numbers the flat search compared, shifted by an exact
+        # constant.  ``rem`` is exact too: subtracting an integer-
+        # valued float from a float of larger magnitude is lossless.
+        tv = pair_t[pc]
+        elo = graph.indptr[tv]
+        ehi = elo + graph.degrees_array[tv]
+        ebase = np.where(elo > 0, ecs[np.maximum(elo - 1, 0)], 0.0)
+        level, ceil = elo.copy(), ehi.copy()
+        last = ecs.size - 1
+        for _ in range(max(int(graph.degrees_array.max(initial=1)),
+                           1).bit_length()):
+            active = level < ceil
+            mid = (level + ceil) >> 1
+            probe = ecs[np.minimum(mid, last)] - ebase
+            descend = active & (probe < rem)
+            level = np.where(descend, mid + 1, level)
+            ceil = np.where(active & ~descend, mid, ceil)
+        pos = np.minimum(level, ehi - 1)
+        out[live] = graph.indices[pos]
         return out, StepInfo(avg_compute_cycles=14.0)
+
+    def _edge_importance(self, graph: CSRGraph):
+        """Cached (per graph) global cumsum of per-candidate importance
+        ``deg(dst) + 1`` in CSR edge order, plus each vertex's total
+        neighborhood mass (its row's share of that cumsum)."""
+        cache = getattr(graph, "_ladies_edge_importance", None)
+        if cache is None:
+            w = graph.degrees_array[graph.indices].astype(np.float64) + 1.0
+            ecs = np.cumsum(w)
+            mass = np.zeros(graph.num_vertices, dtype=np.float64)
+            starts = graph.indptr[:-1]
+            ends = graph.indptr[1:]
+            ne = np.nonzero(ends > starts)[0]
+            if ne.size:
+                base = np.where(starts[ne] > 0, ecs[starts[ne] - 1], 0.0)
+                mass[ne] = ecs[ends[ne] - 1] - base
+            cache = (ecs, mass)
+            graph._ladies_edge_importance = cache
+        return cache

@@ -95,8 +95,7 @@ class Layer(SamplingApp):
         flat = transits.ravel()
         live = flat != NULL_VERTEX
         deg = np.zeros(flat.size, dtype=np.float64)
-        deg[live] = (graph.indptr[flat[live] + 1]
-                     - graph.indptr[flat[live]])
+        deg[live] = graph.degrees_array[flat[live]]
         deg = deg.reshape(num_samples, width)
         cum = np.cumsum(deg, axis=1)
         totals = cum[:, -1]

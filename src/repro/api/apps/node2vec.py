@@ -117,7 +117,7 @@ class Node2Vec(SamplingApp):
         if not live.any():
             return out, StepInfo()
         t_cur = transits[live]
-        deg = graph.indptr[t_cur + 1] - graph.indptr[t_cur]
+        deg = graph.degrees_array[t_cur]
         has_nbrs = deg > 0
         t_cur = t_cur[has_nbrs]
         deg = deg[has_nbrs]

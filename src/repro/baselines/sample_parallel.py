@@ -58,9 +58,10 @@ class SampleParallelEngine(NextDoorEngine):
         if num_pairs == 0 or m == 0:
             return
         # Degrees seen by the threads, in pair order: each pair's
-        # transit may differ from its warp-mates'.
-        pair_degrees = degrees[
-            np.searchsorted(tmap.unique_transits, tmap.transit_vals)]
+        # transit may differ from its warp-mates'.  The pair arrays are
+        # transit-grouped, so a repeat over the group counts is the
+        # per-pair degree — no searchsorted needed.
+        pair_degrees = np.repeat(degrees, tmap.counts)
         avg_deg = float(pair_degrees.mean()) if pair_degrees.size else 0.0
         p99 = float(np.percentile(pair_degrees, 99)) \
             if pair_degrees.size > 1 else avg_deg
@@ -106,8 +107,7 @@ class SampleParallelEngine(NextDoorEngine):
     def _charge_collective(self, device: Device, tmap, degrees: np.ndarray,
                            m: int, info: StepInfo, num_samples: int,
                            has_edges: bool) -> None:
-        pair_degrees = degrees[
-            np.searchsorted(tmap.unique_transits, tmap.transit_vals)]
+        pair_degrees = np.repeat(degrees, tmap.counts)
         charge_combined_neighborhood_sp(device, tmap, pair_degrees)
         charge_collective_selection(device, num_samples, m, info)
         if has_edges:

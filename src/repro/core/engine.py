@@ -213,8 +213,7 @@ class NextDoorEngine:
                 break  # no live transits: every sample has terminated
             self._pre_step(device, graph, tmap, step)
             self._charge_index(device, tmap)
-            degrees = (graph.indptr[tmap.unique_transits + 1]
-                       - graph.indptr[tmap.unique_transits])
+            degrees = graph.degrees_array[tmap.unique_transits]
             m = app.sample_size(step)
 
             if collective:
@@ -307,19 +306,33 @@ class NextDoorEngine:
         rows_with_holes = np.nonzero(
             (deduped == NULL_VERTEX).any(axis=1)
             & (new_vertices != NULL_VERTEX).any(axis=1))[0]
-        for s in rows_with_holes:
-            row = deduped[s]
-            holes = np.nonzero((row == NULL_VERTEX)
-                               & (new_vertices[s] != NULL_VERTEX))[0]
-            if holes.size == 0:
-                continue
-            hole_transits = transits[s][holes // m]
-            draws = uniform_neighbors(graph, hole_transits, 1, rng)[:, 0]
-            present = set(int(v) for v in row[row != NULL_VERTEX])
-            for hole, draw in zip(holes, draws):
-                if draw != NULL_VERTEX and int(draw) not in present:
-                    row[hole] = draw
-                    present.add(int(draw))
+        if rows_with_holes.size:
+            sub = deduped[rows_with_holes]
+            holes = (sub == NULL_VERTEX) & (new_vertices[rows_with_holes]
+                                            != NULL_VERTEX)
+            # np.nonzero enumerates holes row-major — the same (row,
+            # then hole) order the sequential top-up visited, so one
+            # batched draw consumes the identical rng stream.
+            rs, cs = np.nonzero(holes)
+            if rs.size:
+                hole_transits = transits[rows_with_holes[rs], cs // m]
+                draws = uniform_neighbors(graph, hole_transits, 1,
+                                          rng)[:, 0]
+                # Accept a draw iff it is non-NULL, absent from the
+                # row's surviving values, and the first draw of that
+                # value for its row — exactly the sequential
+                # present-set rule.  Membership is tested on composite
+                # (row, value) keys so one isin/unique covers all rows.
+                stride = np.int64(graph.num_vertices) + 2
+                live_r, live_c = np.nonzero(sub != NULL_VERTEX)
+                existing_keys = live_r * stride + sub[live_r, live_c] + 1
+                draw_keys = rs * stride + draws + 1
+                is_first = np.zeros(draw_keys.size, dtype=bool)
+                is_first[np.unique(draw_keys, return_index=True)[1]] = True
+                accept = ((draws != NULL_VERTEX) & is_first
+                          & ~np.isin(draw_keys, existing_keys))
+                deduped[rows_with_holes[rs[accept]], cs[accept]] = \
+                    draws[accept]
         # The top-up is sample-parallel (one warp-pass over the holes).
         charge_collective_selection(
             device, int(rows_with_holes.size), 1,
@@ -339,32 +352,26 @@ def _merge_batches(graph, shards: List[SampleBatch]) -> SampleBatch:
         return shards[0]
     merged = SampleBatch(graph, np.concatenate([b.roots for b in shards]))
     num_steps = max(b.num_steps for b in shards)
+    total_rows = sum(b.num_samples for b in shards)
+    row_starts = np.cumsum([0] + [b.num_samples for b in shards])
     for i in range(num_steps):
-        widths = [b.step_vertices[i].shape[1]
-                  for b in shards if b.num_steps > i]
-        width = max(widths)
-        parts = []
-        for b in shards:
+        width = max(b.step_vertices[i].shape[1]
+                    for b in shards if b.num_steps > i)
+        # Preallocate the padded step once and copy each shard into its
+        # row block — no per-shard pad + concatenate round trips.
+        out = np.full((total_rows, width), NULL_VERTEX, dtype=np.int64)
+        for r0, b in zip(row_starts, shards):
             if b.num_steps > i:
                 arr = b.step_vertices[i]
-                if arr.shape[1] < width:
-                    pad = np.full((arr.shape[0], width - arr.shape[1]),
-                                  NULL_VERTEX, dtype=np.int64)
-                    arr = np.concatenate([arr, pad], axis=1)
-            else:
-                arr = np.full((b.num_samples, width), NULL_VERTEX,
-                              dtype=np.int64)
-            parts.append(arr)
-        merged.append_step(np.concatenate(parts, axis=0))
-    # Recorded edges: shift sample ids into the merged numbering.
-    offset = 0
-    for b in shards:
+                out[r0:r0 + arr.shape[0], :arr.shape[1]] = arr
+        merged.append_step(out)
+    # Recorded edges: shift sample ids into the merged numbering with a
+    # single broadcast add per shard array.
+    for r0, b in zip(row_starts, shards):
+        shift = np.asarray([r0, 0, 0], dtype=np.int64)
         for edges in b.edges:
             if edges.size:
-                shifted = edges.copy()
-                shifted[:, 0] += offset
-                merged.record_edges(shifted)
-        offset += b.num_samples
+                merged.record_edges(edges + shift)
     return merged
 
 

@@ -104,8 +104,12 @@ def run_individual_step(
                             prev_transits=prev, batch=batch,
                             sample_ids=sample_ids)
     if m > 0 and sample_ids.size:
-        slots = cols[:, None] * m + np.arange(m)[None, :]
-        out[sample_ids[:, None], slots] = sampled
+        if m == 1:
+            # Walk-shaped fast path: one slot per pair, flat scatter.
+            out[sample_ids, cols] = sampled[:, 0]
+        else:
+            slots = cols[:, None] * m + np.arange(m)[None, :]
+            out[sample_ids[:, None], slots] = sampled
     return out, info
 
 
@@ -136,7 +140,7 @@ def run_collective_step(
         flat = t.ravel()
         live = flat != NULL_VERTEX
         deg = np.zeros(flat.size, dtype=np.int64)
-        deg[live] = graph.indptr[flat[live] + 1] - graph.indptr[flat[live]]
+        deg[live] = graph.degrees_array[flat[live]]
         per_sample = deg.reshape(t.shape[0], -1).sum(axis=1)
         offsets = np.zeros(t.shape[0] + 1, dtype=np.int64)
         np.cumsum(per_sample, out=offsets[1:])

@@ -40,6 +40,8 @@ def flatten_transits(transits: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.n
     flat = transits.ravel()
     live = flat != NULL_VERTEX
     idx = np.nonzero(live)[0]
+    if width == 1:  # walk-shaped apps: pair index IS the sample id
+        return idx, np.zeros(idx.size, dtype=np.int64), flat[idx]
     return idx // width, idx % width, flat[idx]
 
 
@@ -73,8 +75,68 @@ class TransitMap:
         return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
 
 
+def _grouping_order(vals: np.ndarray) -> np.ndarray:
+    """Stable permutation grouping ``vals``: counting/radix sort over
+    keys rebased to ``[0, span)`` and narrowed to the smallest integer
+    dtype that holds the span.
+
+    ``np.argsort(kind="stable")`` on integers is an LSB radix sort —
+    iterated counting sort — so narrowing the key width cuts the number
+    of counting passes (2 for a 16-bit key vs 8 for raw int64 vertex
+    ids).  The result is bitwise-identical to a stable argsort of the
+    raw values because the rebase is monotone.
+    """
+    vmin = vals[0] if vals.size == 1 else vals.min()
+    span = int(vals.max() - vmin) + 1 if vals.size else 1
+    if span <= np.iinfo(np.uint16).max:
+        keys = (vals - vmin).astype(np.uint16)
+    elif span <= 2**31:
+        keys = (vals - vmin).astype(np.int32)
+    else:
+        keys = vals
+    return np.argsort(keys, kind="stable")
+
+
 def build_transit_map(transits: np.ndarray) -> TransitMap:
-    """Group a step's pairs by transit vertex (the functional half)."""
+    """Group a step's pairs by transit vertex (the functional half).
+
+    The grouping is a stable counting sort: ``np.bincount`` over the
+    rebased transit ids yields ``unique_transits``/``counts``/
+    ``offsets`` directly — O(K + V) with no second sort, unlike the
+    ``argsort`` + ``np.unique`` pipeline it replaces (``np.unique``
+    sorts the already-sorted keys again).
+    """
+    sample_ids, cols, vals = flatten_transits(transits)
+    num_total_pairs = int(np.asarray(transits).size)
+    if vals.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return TransitMap(sample_ids, cols, vals, empty, empty.copy(),
+                          np.zeros(1, dtype=np.int64),
+                          num_total_pairs=num_total_pairs)
+    order = _grouping_order(vals)
+    vals = vals[order]
+    sample_ids = sample_ids[order]
+    cols = cols[order]
+    # Histogram over the rebased id range: unique transits are the
+    # non-empty buckets, offsets their exclusive prefix sum.
+    vmin = int(vals[0])
+    hist = np.bincount(vals - vmin, minlength=int(vals[-1]) - vmin + 1)
+    nonzero = np.nonzero(hist)[0]
+    unique_transits = nonzero + vmin
+    counts = hist[nonzero]
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return TransitMap(sample_ids, cols, vals, unique_transits,
+                      counts, offsets, num_total_pairs=num_total_pairs)
+
+
+def build_transit_map_reference(transits: np.ndarray) -> TransitMap:
+    """The original full-sort grouping (``argsort`` + ``np.unique``).
+
+    Kept as the reference the fast path is equivalence-tested against
+    (``tests/test_fastpath_equivalence.py``) and for wall-clock
+    comparisons; both produce bitwise-identical maps.
+    """
     sample_ids, cols, vals = flatten_transits(transits)
     order = np.argsort(vals, kind="stable")
     vals = vals[order]

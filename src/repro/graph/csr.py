@@ -160,9 +160,24 @@ class CSRGraph:
         """Out-degree of vertex ``v``."""
         return int(self.indptr[v + 1] - self.indptr[v])
 
+    @property
+    def degrees_array(self) -> np.ndarray:
+        """Cached vector of all out-degrees (int64, read-only).
+
+        Samplers gather from this every step; computing ``np.diff``
+        of ``indptr`` per step was one of the hot-path costs the
+        engines repeated per step per engine.
+        """
+        cached = getattr(self, "_degrees_cache", None)
+        if cached is None:
+            cached = np.diff(self.indptr)
+            cached.setflags(write=False)
+            self._degrees_cache = cached
+        return cached
+
     def degrees(self) -> np.ndarray:
-        """Vector of all out-degrees."""
-        return np.diff(self.indptr)
+        """Vector of all out-degrees (the cached read-only array)."""
+        return self.degrees_array
 
     @property
     def avg_degree(self) -> float:
@@ -204,18 +219,49 @@ class CSRGraph:
         (8 bytes per edge).
         """
         if getattr(self, "_edge_key_cache", None) is None:
-            degrees = np.diff(self.indptr)
             row_of_edge = np.repeat(
-                np.arange(self.num_vertices, dtype=np.int64), degrees)
+                np.arange(self.num_vertices, dtype=np.int64),
+                self.degrees_array)
             self._edge_key_cache = row_of_edge * self.num_vertices + self.indices
         return self._edge_key_cache
+
+    #: Adjacency bitmaps above this size fall back to binary search
+    #: (64 MiB packed = graphs up to ~23k vertices).
+    _BITMAP_MAX_BYTES = 1 << 26
+
+    def _edge_bitmap(self) -> Optional[np.ndarray]:
+        """Packed V*V adjacency bitmap (1 bit per vertex pair), or
+        ``None`` for graphs too large to afford one.
+
+        Turns batched edge-existence probes into O(1) gathers instead
+        of O(log E) binary searches — the GPU analogue is a bitmap in
+        device memory answering warp-wide membership tests.  Built
+        lazily, cached (V^2 / 8 bytes).
+        """
+        cached = getattr(self, "_edge_bitmap_cache", False)
+        if cached is not False:
+            return cached
+        n = self.num_vertices
+        nbits = n * n
+        if nbits > self._BITMAP_MAX_BYTES * 8:
+            self._edge_bitmap_cache = None
+            return None
+        bitmap = np.zeros((nbits + 7) // 8, dtype=np.uint8)
+        keys = self._edge_keys()
+        np.bitwise_or.at(bitmap, keys >> 3,
+                         np.left_shift(1, keys & 7).astype(np.uint8))
+        self._edge_bitmap_cache = bitmap
+        return bitmap
 
     def has_edges(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`has_edge` for aligned arrays ``u``, ``v``.
 
-        This is the hot primitive of node2vec: for each candidate
-        neighbor ``v[i]`` of the current transit, test membership in
-        the adjacency list of the previous transit ``u[i]``.
+        This is the hot primitive of node2vec and the importance
+        samplers' layer-adjacency recording: for each candidate
+        neighbor ``v[i]``, test membership in the adjacency list of
+        ``u[i]``.  Served from the packed adjacency bitmap when the
+        graph is small enough to hold one, else by binary search over
+        the sorted composite edge keys.
         """
         u = np.asarray(u, dtype=np.int64)
         v = np.asarray(v, dtype=np.int64)
@@ -223,8 +269,12 @@ class CSRGraph:
             raise ValueError("u and v must have the same shape")
         if u.size == 0:
             return np.zeros(0, dtype=bool)
-        keys = self._edge_keys()
         query = u * np.int64(self.num_vertices) + v
+        bitmap = self._edge_bitmap()
+        if bitmap is not None:
+            return (bitmap[query >> 3] >> (query & 7).astype(np.uint8)
+                    ) & 1 > 0
+        keys = self._edge_keys()
         pos = np.searchsorted(keys, query)
         found = np.zeros(u.shape, dtype=bool)
         in_range = pos < keys.size
@@ -275,6 +325,26 @@ class CSRGraph:
         if getattr(self, "_global_cumsum_cache", None) is None:
             self._global_cumsum_cache = np.cumsum(self.weights)
         return self._global_cumsum_cache
+
+    def weight_row_spans(self) -> "Tuple[np.ndarray, np.ndarray]":
+        """Per-vertex ``(base, total)`` of :meth:`global_weight_cumsum`.
+
+        ``base[v]`` is the cumsum value just before row ``v`` starts and
+        ``total[v]`` the row's weight mass — precomputed with the exact
+        arithmetic the weighted sampler would perform per step
+        (``cumsum[start - 1]`` and ``cumsum[end - 1] - base``), so
+        gathering from these caches yields bit-identical targets.
+        """
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        if getattr(self, "_weight_row_spans_cache", None) is None:
+            cumsum = self.global_weight_cumsum()
+            starts = self.indptr[:-1]
+            ends = self.indptr[1:]
+            base = np.where(starts > 0, cumsum[starts - 1], 0.0)
+            total = np.where(ends > starts, cumsum[ends - 1] - base, 0.0)
+            self._weight_row_spans_cache = (base, total)
+        return self._weight_row_spans_cache
 
     def row_max_weight(self) -> np.ndarray:
         """Maximum outgoing edge weight per vertex (cached).
