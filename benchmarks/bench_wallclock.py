@@ -23,7 +23,13 @@ the functional stepper (NextDoor, SP, TP, Frontier, MessagePassing).
 Results land in ``BENCH_wallclock.json`` at the repo root; when a
 pre-optimisation baseline archive exists
 (``benchmarks/results/wallclock_pre_pr.json``), per-cell speedups
-against it are included.
+against it are included — only when mode *and* worker count match, so
+pooled runs are never scored against in-process baselines.
+
+``--workers N`` runs the grid on the multicore sampling runtime
+(samples are bitwise-identical either way).  The report also carries a
+NextDoor workers=0 vs workers=4 comparison per workload, skipped with
+an explanatory note on hosts with fewer than 4 cores.
 
 Usage::
 
@@ -60,6 +66,7 @@ from repro.baselines import (  # noqa: E402
 )
 from repro.core.engine import NextDoorEngine  # noqa: E402
 from repro.graph import datasets  # noqa: E402
+from repro.runtime import DEFAULT_CHUNK_PAIRS  # noqa: E402
 
 __all__ = ["run_wallclock", "main"]
 
@@ -109,7 +116,8 @@ def _time_run(engine, app_factory: Callable, graph, num_samples: int,
 
 
 def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
-                  seed: int = 7) -> Dict:
+                  seed: int = 7, workers: int = 0,
+                  chunk_size: Optional[int] = None) -> Dict:
     """Run the full workload × engine grid; returns the result dict."""
     repeats = repeats if repeats is not None else (1 if quick else 3)
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -118,7 +126,8 @@ def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
         graph = datasets.load(GRAPH, weighted=weighted)
         results[wl_name] = {}
         for eng_name, eng_cls in ENGINES:
-            cell = _time_run(eng_cls(), app_factory, graph, num_samples,
+            engine = eng_cls(workers=workers, chunk_size=chunk_size)
+            cell = _time_run(engine, app_factory, graph, num_samples,
                              repeats, seed=seed)
             results[wl_name][eng_name] = cell
             print(f"{wl_name:>14s} | {eng_name:<14s} "
@@ -129,21 +138,60 @@ def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
         "mode": "quick" if quick else "full",
         "repeats": repeats,
         "seed": seed,
+        "workers": int(workers),
+        "chunk_size": int(chunk_size or DEFAULT_CHUNK_PAIRS),
+        "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "results": results,
     }
 
 
+def run_multicore(quick: bool = False, seed: int = 7,
+                  workers: int = 4) -> Dict:
+    """NextDoor-engine workers=0 vs workers=N comparison per workload.
+
+    Skips (with an explanatory note in the report) on hosts with fewer
+    cores than ``workers`` — a worker pool cannot beat the in-process
+    path without cores to spread the chunks over."""
+    cores = os.cpu_count() or 1
+    if cores < workers:
+        note = (f"host has {cores} CPU core(s) < {workers} workers; "
+                "multicore speedup not measurable here — samples are "
+                "identical either way, so only wall-clock is affected")
+        print(f"multicore comparison skipped: {note}")
+        return {"skipped": note, "workers": workers, "cpu_count": cores}
+    comparison: Dict[str, Dict[str, float]] = {}
+    for wl_name, app_factory, weighted, full_n, quick_n in WORKLOADS:
+        num_samples = quick_n if quick else full_n
+        graph = datasets.load(GRAPH, weighted=weighted)
+        serial = _time_run(NextDoorEngine(workers=0), app_factory, graph,
+                           num_samples, repeats=3, seed=seed)
+        pooled = _time_run(NextDoorEngine(workers=workers), app_factory,
+                           graph, num_samples, repeats=3, seed=seed)
+        comparison[wl_name] = {
+            "workers0_seconds": serial["seconds"],
+            f"workers{workers}_seconds": pooled["seconds"],
+            "speedup": (serial["seconds"] / pooled["seconds"]
+                        if pooled["seconds"] > 0 else float("inf")),
+        }
+        print(f"{wl_name:>14s} | multicore x{workers}   "
+              f"speedup {comparison[wl_name]['speedup']:5.2f}x")
+    return {"workers": workers, "cpu_count": cores,
+            "results": comparison}
+
+
 def _attach_speedups(report: Dict, baseline_path: str) -> None:
     """Merge pre-PR numbers + speedup ratios into ``report`` when a
-    comparable (same-mode) baseline archive exists."""
+    comparable (same mode, same worker count) baseline archive exists."""
     if not os.path.exists(baseline_path):
         return
     with open(baseline_path) as f:
         baseline = json.load(f)
     if baseline.get("mode") != report["mode"]:
         return  # quick runs aren't comparable to full baselines
+    if baseline.get("workers", 0) != report.get("workers", 0):
+        return  # pooled runs aren't comparable to in-process baselines
     speedups: Dict[str, Dict[str, float]] = {}
     for wl, engines in report["results"].items():
         base_wl = baseline.get("results", {}).get(wl, {})
@@ -173,6 +221,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="pre-PR baseline JSON to compute speedups "
                              "against (skipped if missing)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="sampling worker processes for the main grid "
+                             "(default 0 = in-process; samples are "
+                             "identical either way)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="RNG-plan chunk size in transit pairs "
+                             f"(default {DEFAULT_CHUNK_PAIRS})")
+    parser.add_argument("--no-multicore", action="store_true",
+                        help="skip the workers=0 vs workers=4 comparison")
     args = parser.parse_args(argv)
 
     out_dir = os.path.dirname(os.path.abspath(args.output))
@@ -180,7 +237,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"output directory does not exist: {out_dir}")
 
     report = run_wallclock(quick=args.quick, repeats=args.repeats,
-                           seed=args.seed)
+                           seed=args.seed, workers=args.workers,
+                           chunk_size=args.chunk_size)
+    if not args.no_multicore:
+        report["multicore"] = run_multicore(quick=args.quick,
+                                            seed=args.seed)
     if os.path.abspath(args.output) != os.path.abspath(args.baseline):
         _attach_speedups(report, args.baseline)
     with open(args.output, "w") as f:

@@ -66,6 +66,14 @@ class FastGCN(SamplingApp):
                       rng: np.random.Generator) -> np.ndarray:
         return self.random_roots(graph, (num_samples, self.batch_size), rng)
 
+    def __getstate__(self):
+        """Drop the per-graph importance cache when pickling (pool
+        workers recompute it lazily from the shared graph — cheaper
+        than shipping a ``num_vertices`` float array per run)."""
+        state = self.__dict__.copy()
+        state["_probs_cache"] = None
+        return state
+
     def _importance(self, graph: CSRGraph) -> np.ndarray:
         if self._probs_cache is None or self._probs_cache.size != graph.num_vertices:
             weights = graph.degrees().astype(np.float64) + 1.0

@@ -28,6 +28,7 @@ from repro.core.engine import SamplingResult
 from repro.core.transit_map import flatten_transits
 from repro.gpu.cpu_model import CpuDevice, CpuTask
 from repro.gpu.spec import CPUSpec, XEON_SILVER_4216
+from repro.runtime.context import ExecutionContext
 
 __all__ = ["ReferenceSamplerEngine"]
 
@@ -43,17 +44,23 @@ class ReferenceSamplerEngine:
 
     def __init__(self, spec: CPUSpec = XEON_SILVER_4216,
                  use_reference: bool = False,
-                 ops_per_vertex: float = _OPS_PER_VERTEX) -> None:
+                 ops_per_vertex: float = _OPS_PER_VERTEX,
+                 workers=None, chunk_size=None) -> None:
         self.spec = spec
         self.use_reference = use_reference
         self.ops_per_vertex = ops_per_vertex
+        self.workers = workers
+        self.chunk_size = chunk_size
 
     def run(self, app: SamplingApp, graph,
             num_samples: Optional[int] = None,
             roots: Optional[np.ndarray] = None,
             seed: int = 0) -> SamplingResult:
-        rng = np.random.default_rng(seed)
-        batch = stepper.init_batch(app, graph, num_samples, roots, rng)
+        ctx = ExecutionContext(seed, workers=self.workers,
+                               chunk_size=self.chunk_size)
+        batch = stepper.init_batch(app, graph, num_samples, roots,
+                                   ctx.init_rng())
+        ctx.begin_run(app, graph, use_reference=self.use_reference)
         cpu = CpuDevice(self.spec)
         collective = app.sampling_type() is SamplingType.COLLECTIVE
         limit = stepper.step_limit(app)
@@ -67,7 +74,7 @@ class ReferenceSamplerEngine:
             if collective:
                 new_vertices, info, edges, neigh_sizes = \
                     stepper.run_collective_step(
-                        app, graph, batch, transits, step, rng,
+                        app, graph, batch, transits, step, ctx,
                         use_reference=self.use_reference)
                 # The reference implementations materialise each
                 # sample's combined neighborhood as Python/numpy
@@ -90,7 +97,7 @@ class ReferenceSamplerEngine:
                             name=f"ref_edges_{step}", parallel=False)
             else:
                 new_vertices, info = stepper.run_individual_step(
-                    app, graph, batch, transits, step, rng,
+                    app, graph, batch, transits, step, ctx,
                     sample_ids, cols, vals,
                     use_reference=self.use_reference)
                 produced = int(vals.size) * max(m, 1)
@@ -101,7 +108,7 @@ class ReferenceSamplerEngine:
                                  count=produced)],
                         name=f"ref_sample_{step}", parallel=False)
             batch.append_step(new_vertices)
-            app.post_step(batch, new_vertices, step, rng)
+            app.post_step(batch, new_vertices, step, ctx.post_step_rng(step))
             step += 1
             if m > 0 and not (new_vertices != NULL_VERTEX).any():
                 break

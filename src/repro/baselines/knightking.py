@@ -29,6 +29,7 @@ from repro.core.engine import SamplingResult
 from repro.core.transit_map import flatten_transits
 from repro.gpu.cpu_model import CpuDevice, CpuTask
 from repro.gpu.spec import CPUSpec, XEON_SILVER_4216
+from repro.runtime.context import ExecutionContext
 
 __all__ = ["KnightKingEngine"]
 
@@ -39,17 +40,23 @@ class KnightKingEngine:
     engine_name = "KnightKing"
 
     def __init__(self, spec: CPUSpec = XEON_SILVER_4216,
-                 use_reference: bool = False) -> None:
+                 use_reference: bool = False,
+                 workers=None, chunk_size=None) -> None:
         self.spec = spec
         self.use_reference = use_reference
+        self.workers = workers
+        self.chunk_size = chunk_size
 
     def run(self, app: SamplingApp, graph,
             num_samples: Optional[int] = None,
             roots: Optional[np.ndarray] = None,
             seed: int = 0) -> SamplingResult:
         self._check_supported(app)
-        rng = np.random.default_rng(seed)
-        batch = stepper.init_batch(app, graph, num_samples, roots, rng)
+        ctx = ExecutionContext(seed, workers=self.workers,
+                               chunk_size=self.chunk_size)
+        batch = stepper.init_batch(app, graph, num_samples, roots,
+                                   ctx.init_rng())
+        ctx.begin_run(app, graph, use_reference=self.use_reference)
         cpu = CpuDevice(self.spec)
         limit = stepper.step_limit(app)
         step = 0
@@ -59,7 +66,7 @@ class KnightKingEngine:
             if vals.size == 0:
                 break
             new_vertices, info = stepper.run_individual_step(
-                app, graph, batch, transits, step, rng,
+                app, graph, batch, transits, step, ctx,
                 sample_ids, cols, vals, use_reference=self.use_reference)
             # One walker-step: fetch the transit's adjacency (a random
             # access; short lists fit one cache line), draw + test.
@@ -78,7 +85,7 @@ class KnightKingEngine:
             cpu.run([CpuTask(ops=self.spec.clock_ghz * 1e3, count=1)],
                     name=f"barrier_{step}", parallel=False)
             batch.append_step(new_vertices)
-            app.post_step(batch, new_vertices, step, rng)
+            app.post_step(batch, new_vertices, step, ctx.post_step_rng(step))
             step += 1
             if not (new_vertices != NULL_VERTEX).any():
                 break

@@ -73,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--devices", type=int, default=1,
                    help="modeled GPUs (NextDoor-family engines only)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="sampling worker processes (default 0 = "
+                        "in-process; $REPRO_WORKERS overrides the "
+                        "default; samples are identical either way)")
     p.add_argument("--out", default=None,
                    help="save samples to this .npz file")
 
@@ -83,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph", default="livej",
                    choices=sorted(datasets.SPECS))
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=None,
+                   help="sampling worker processes for every engine "
+                        "(default 0 = in-process)")
 
     p = sub.add_parser("bench", help="list the paper-experiment benchmarks")
     p.add_argument("--list", action="store_true", default=True)
@@ -127,7 +134,7 @@ def _cmd_sample(args, out) -> int:
     num_samples = args.samples
     if num_samples is None:
         num_samples = walk_sample_count(graph, args.app)
-    engine = ENGINES[args.engine]()
+    engine = ENGINES[args.engine](workers=args.workers)
     kwargs = {"num_samples": num_samples, "seed": args.seed}
     if args.devices != 1:
         if not isinstance(engine, NextDoorEngine):
@@ -156,14 +163,15 @@ def _cmd_compare(args, out) -> int:
     for app_name in args.apps:
         graph = paper_graph(args.graph, app_name, seed=args.seed)
         ns = walk_sample_count(graph, app_name)
-        nd = NextDoorEngine().run(paper_app(app_name), graph,
-                                  num_samples=ns, seed=args.seed)
+        nd = NextDoorEngine(workers=args.workers).run(
+            paper_app(app_name), graph, num_samples=ns, seed=args.seed)
         row = [app_name, f"{nd.seconds * 1e3:.3f} ms"]
         for key in ("sp", "tp", "knightking", "reference", "gunrock",
                     "tigr"):
             try:
-                r = ENGINES[key]().run(paper_app(app_name), graph,
-                                       num_samples=ns, seed=args.seed)
+                r = ENGINES[key](workers=args.workers).run(
+                    paper_app(app_name), graph, num_samples=ns,
+                    seed=args.seed)
                 row.append(f"{r.seconds / nd.seconds:.1f}x")
             except ValueError:
                 row.append("n/a")

@@ -21,6 +21,7 @@ of Section 6.5.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -47,6 +48,7 @@ from repro.gpu.device import Device
 from repro.gpu.metrics import DeviceMetrics
 from repro.gpu.multi_gpu import MultiGPU
 from repro.gpu.spec import GPUSpec, V100
+from repro.runtime.context import ExecutionContext
 
 __all__ = ["NextDoorEngine", "SamplingResult", "do_sampling"]
 
@@ -127,10 +129,17 @@ class NextDoorEngine:
 
     def __init__(self, spec: GPUSpec = V100,
                  config: KernelPlanConfig = KernelPlanConfig(),
-                 use_reference: bool = False) -> None:
+                 use_reference: bool = False,
+                 workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None) -> None:
         self.spec = spec
         self.config = config
         self.use_reference = use_reference
+        #: Multicore runtime: 0 = in-process; None = $REPRO_WORKERS,
+        #: default 0.  Samples are bitwise-identical for any setting.
+        self.workers = workers
+        #: Pairs per RNG-plan chunk (None = runtime default).
+        self.chunk_size = chunk_size
 
     # ------------------------------------------------------------------
 
@@ -147,11 +156,14 @@ class NextDoorEngine:
         """
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
-        rng = np.random.default_rng(seed)
-        batch = stepper.init_batch(app, graph, num_samples, roots, rng)
+        ctx = ExecutionContext(seed, workers=self.workers,
+                               chunk_size=self.chunk_size)
+        batch = stepper.init_batch(app, graph, num_samples, roots,
+                                   ctx.init_rng())
+        ctx.begin_run(app, graph, use_reference=self.use_reference)
         if num_devices == 1:
             device = Device(self.spec)
-            steps_run = self._run_on_device(app, graph, batch, rng, device)
+            steps_run = self._run_on_device(app, graph, batch, ctx, device)
             return SamplingResult(
                 app=app, graph_name=graph.name, batch=batch,
                 seconds=device.elapsed_seconds,
@@ -159,25 +171,42 @@ class NextDoorEngine:
                 metrics=device.metrics, steps_run=steps_run,
                 engine=self.engine_name,
                 metrics_by_phase=device.metrics_by_phase)
-        return self._run_multi_gpu(app, graph, batch, rng, num_devices)
+        return self._run_multi_gpu(app, graph, batch, ctx, num_devices)
 
     # ------------------------------------------------------------------
 
     def _run_multi_gpu(self, app: SamplingApp, graph, batch: SampleBatch,
-                       rng: np.random.Generator,
+                       ctx: ExecutionContext,
                        num_devices: int) -> SamplingResult:
         pool = MultiGPU(num_devices, self.spec)
         bounds = np.linspace(0, batch.num_samples, num_devices + 1,
                              dtype=np.int64)
-        shards: List[SampleBatch] = []
         total_steps = 0
-        for d, device in enumerate(pool.devices):
+
+        def run_shard(d: int):
             shard_roots = batch.roots[bounds[d]:bounds[d + 1]]
             if shard_roots.shape[0] == 0:
-                continue
+                return None
+            # Each shard samples from its own namespaced RNG plan, so
+            # the merged result does not depend on execution order or
+            # thread timing.
+            shard_ctx = ctx.shard(d)
             shard = SampleBatch(graph, shard_roots)
-            app.init_state(shard, rng)
-            steps_run = self._run_on_device(app, graph, shard, rng, device)
+            app.init_state(shard, shard_ctx.init_rng())
+            steps_run = self._run_on_device(app, graph, shard, shard_ctx,
+                                            pool.devices[d])
+            return shard, steps_run
+
+        # Shards run concurrently: with pool workers the chunk streams
+        # interleave on the shared worker pool; without, the threads
+        # overlap wherever numpy releases the GIL.
+        with ThreadPoolExecutor(max_workers=num_devices) as tpe:
+            outcomes = list(tpe.map(run_shard, range(num_devices)))
+        shards: List[SampleBatch] = []
+        for outcome in outcomes:
+            if outcome is None:
+                continue
+            shard, steps_run = outcome
             total_steps = max(total_steps, steps_run)
             shards.append(shard)
         pool.record_run()
@@ -201,7 +230,7 @@ class NextDoorEngine:
     # ------------------------------------------------------------------
 
     def _run_on_device(self, app: SamplingApp, graph, batch: SampleBatch,
-                       rng: np.random.Generator, device: Device) -> int:
+                       ctx: ExecutionContext, device: Device) -> int:
         """The per-device step loop; returns steps executed."""
         limit = stepper.step_limit(app)
         collective = app.sampling_type() is SamplingType.COLLECTIVE
@@ -218,7 +247,7 @@ class NextDoorEngine:
 
             if collective:
                 new_vertices, info, edges, _sizes = stepper.run_collective_step(
-                    app, graph, batch, transits, step, rng,
+                    app, graph, batch, transits, step, ctx,
                     use_reference=self.use_reference)
                 self._charge_collective(device, tmap, degrees, m, info,
                                         batch.num_samples,
@@ -227,7 +256,7 @@ class NextDoorEngine:
                     batch.record_edges(edges)
             else:
                 new_vertices, info = stepper.run_individual_step(
-                    app, graph, batch, transits, step, rng,
+                    app, graph, batch, transits, step, ctx,
                     tmap.sample_ids, tmap.cols, tmap.transit_vals,
                     use_reference=self.use_reference)
                 self._charge_individual(device, tmap, degrees, m, info,
@@ -235,10 +264,10 @@ class NextDoorEngine:
                 if app.unique(step) and new_vertices.shape[1] > 1:
                     new_vertices = self._make_unique(
                         app, graph, batch, transits, new_vertices, step,
-                        rng, device)
+                        ctx.topup_rng(step), device)
 
             batch.append_step(new_vertices)
-            app.post_step(batch, new_vertices, step, rng)
+            app.post_step(batch, new_vertices, step, ctx.post_step_rng(step))
             step += 1
             if m > 0 and not (new_vertices != NULL_VERTEX).any():
                 break  # nothing was added anywhere: all samples ended
@@ -375,11 +404,22 @@ def _merge_batches(graph, shards: List[SampleBatch]) -> SampleBatch:
     return merged
 
 
+#: Keyword arguments ``do_sampling`` accepts beyond its positionals.
+_DO_SAMPLING_KWARGS = ("spec", "config", "use_reference", "workers",
+                       "chunk_size", "num_devices")
+
+
 def do_sampling(app: SamplingApp, graph, num_samples: int, seed: int = 0,
                 **kwargs) -> SamplingResult:
     """One-call convenience mirroring the paper's ``doSampling``."""
-    return NextDoorEngine(**{k: v for k, v in kwargs.items()
-                             if k in ("spec", "config", "use_reference")}
-                          ).run(app, graph, num_samples=num_samples,
-                                seed=seed,
-                                num_devices=kwargs.get("num_devices", 1))
+    unknown = sorted(set(kwargs) - set(_DO_SAMPLING_KWARGS))
+    if unknown:
+        raise TypeError(
+            f"do_sampling() got unexpected keyword argument(s) "
+            f"{', '.join(map(repr, unknown))}; valid keywords are "
+            f"{', '.join(_DO_SAMPLING_KWARGS)}")
+    num_devices = kwargs.pop("num_devices", 1)
+    return NextDoorEngine(**kwargs).run(app, graph,
+                                        num_samples=num_samples,
+                                        seed=seed,
+                                        num_devices=num_devices)

@@ -90,7 +90,17 @@ def run_individual_step(
     transit-sorted; SP passes them sample-ordered); results scatter
     back by (sample, col) either way.  Returns the ``(S, T * m)`` new
     vertex array and the step's cost hints.
+
+    ``rng`` is either a plain ``np.random.Generator`` — the step is
+    sampled with one whole-step call on that stream — or an
+    :class:`~repro.runtime.context.ExecutionContext`, which executes
+    the step as deterministic fixed-size chunks (in-process or on the
+    worker pool; bitwise-identical either way).
     """
+    if not isinstance(rng, np.random.Generator):
+        return rng.individual_step(app, graph, batch, transits, step,
+                                   sample_ids, cols, transit_vals,
+                                   use_reference=use_reference)
     m = app.sample_size(step)
     width = transits.shape[1] * m
     out = np.full((batch.num_samples, max(width, 0)), NULL_VERTEX,
@@ -132,7 +142,14 @@ def run_collective_step(
     (and the reference path is not forced), only the neighborhood
     *offsets* are computed — hub-heavy transit sets would otherwise
     materialise multi-gigabyte arrays.
+
+    ``rng`` may be an
+    :class:`~repro.runtime.context.ExecutionContext` instead of a
+    generator, exactly as in :func:`run_individual_step`.
     """
+    if not isinstance(rng, np.random.Generator):
+        return rng.collective_step(app, graph, batch, transits, step,
+                                   use_reference=use_reference)
     if app.needs_combined_values or use_reference:
         values, offsets = build_combined_neighborhood(graph, transits)
     else:

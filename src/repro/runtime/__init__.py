@@ -1,0 +1,46 @@
+"""Multicore sampling runtime.
+
+Shards the functional numpy half of a run (the per-step neighbor
+draws) across a persistent shared-memory worker pool while the
+performance-model half stays in the parent, full-batch.  See
+``docs/PERF.md`` ("Multicore runtime") for the determinism contract:
+samples are bitwise-identical for any worker count, and every modeled
+charge is unchanged by the runtime.
+"""
+
+from repro.runtime.context import ExecutionContext, resolve_workers
+from repro.runtime.pool import (
+    WorkerCrash,
+    get_pool,
+    shutdown_pools,
+)
+from repro.runtime.rngplan import (
+    AUX_POST,
+    AUX_TOPUP,
+    DEFAULT_CHUNK_PAIRS,
+    RNGPlan,
+)
+from repro.runtime.shm import (
+    SharedGraphHandle,
+    export_graph,
+    import_graph,
+    release_all,
+    release_graph,
+)
+
+__all__ = [
+    "ExecutionContext",
+    "resolve_workers",
+    "RNGPlan",
+    "DEFAULT_CHUNK_PAIRS",
+    "AUX_TOPUP",
+    "AUX_POST",
+    "WorkerCrash",
+    "get_pool",
+    "shutdown_pools",
+    "SharedGraphHandle",
+    "export_graph",
+    "import_graph",
+    "release_graph",
+    "release_all",
+]

@@ -1,0 +1,357 @@
+"""The per-run execution context: chunked stepping, local or pooled.
+
+:class:`ExecutionContext` replaces the single sequential
+``np.random.Generator`` the engines used to thread through a run.  It
+owns the run's :class:`~repro.runtime.rngplan.RNGPlan` and executes
+each step's sampling as a sequence of fixed-size chunks, each with its
+own plan-derived generator — in the parent process when ``workers=0``
+(or the hook is not worker-safe), on the shared
+:class:`~repro.runtime.pool.WorkerPool` otherwise.  Chunk layout and
+seeds depend only on ``(seed, step, chunk index)``, never on the worker
+count, so the assembled step — and therefore the whole ``SampleBatch``
+— is bitwise-identical for any ``workers`` setting.
+
+The *model* half of every engine is untouched: the parent still builds
+the full-batch transit map and charges every kernel from full-batch
+shapes; only the numpy sampling work is sharded.  Per-chunk
+:class:`~repro.api.types.StepInfo` cost hints are combined by a
+chunk-size-weighted mean **in chunk order**, so the charge inputs are
+also identical with workers on or off.
+
+Worker dispatch is gated to hooks that are pure functions of
+``(graph, chunk data, rng)`` plus at most ``batch.roots`` /
+``batch.num_samples``:
+
+* individual steps: the app must override ``sample_neighbors``
+  (the un-overridden reference path calls ``next`` with full
+  ``Sample`` views);
+* collective steps: the app must override
+  ``sample_from_neighborhood``, declare
+  ``collective_needs_batch = False``, and not require materialised
+  combined-neighborhood values (shipping multi-GB value arrays to
+  workers would erase the win).
+
+Everything else runs its chunks in-process — with the *same* chunk
+generators, preserving bitwise identity.  If the pool crashes mid-step
+the context warns, re-runs the missing chunks in-process (identical by
+chunk purity), and finishes the run without workers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from dataclasses import fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.app import SamplingApp
+from repro.api.types import NULL_VERTEX, StepInfo
+from repro.runtime.pool import WorkerCrash, get_pool, retire_pool
+from repro.runtime.rngplan import AUX_POST, AUX_TOPUP, RNGPlan
+from repro.runtime.worker import exec_collective_chunk, exec_individual_chunk
+
+__all__ = ["ExecutionContext", "resolve_workers", "combine_infos"]
+
+#: Environment variable consulted when an engine is constructed without
+#: an explicit ``workers`` argument (the CI parallel-runtime job sets
+#: ``REPRO_WORKERS=2``).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Explicit argument wins; else ``$REPRO_WORKERS``; else 0."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        workers = int(env) if env else 0
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    return workers
+
+
+def combine_infos(infos: Sequence[StepInfo],
+                  weights: Sequence[int]) -> StepInfo:
+    """Chunk-size-weighted mean of per-chunk cost hints.
+
+    Order-sensitive float arithmetic — callers must pass chunks in
+    chunk order, which is worker-count independent by construction.
+    """
+    if not infos:
+        return StepInfo()
+    if len(infos) == 1:
+        return infos[0]
+    total = float(sum(weights))
+    if total <= 0:
+        return infos[0]
+    merged = {}
+    for f in fields(StepInfo):
+        merged[f.name] = sum(
+            getattr(info, f.name) * w
+            for info, w in zip(infos, weights)) / total
+    return StepInfo(**merged)
+
+
+class _BatchRows:
+    """Row-slice view of a ``SampleBatch`` handed to in-process
+    collective chunks: hooks see chunk-local ``num_samples`` /
+    ``roots`` / ``step_vertices``, while per-sample ``__getitem__``
+    resolves to the parent batch (reference ``next`` gets full
+    ``Sample`` views with correct global indices)."""
+
+    def __init__(self, batch, lo: int, hi: int) -> None:
+        self._batch = batch
+        self._lo = int(lo)
+        self._hi = int(hi)
+        self.graph = batch.graph
+
+    @property
+    def num_samples(self) -> int:
+        return self._hi - self._lo
+
+    @property
+    def roots(self) -> np.ndarray:
+        return self._batch.roots[self._lo:self._hi]
+
+    @property
+    def step_vertices(self) -> List[np.ndarray]:
+        return [a[self._lo:self._hi] for a in self._batch.step_vertices]
+
+    @property
+    def state(self):
+        return self._batch.state
+
+    def __getitem__(self, i: int):
+        return self._batch[self._lo + int(i)]
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+
+class ExecutionContext:
+    """One run's RNG plan + (optional) worker pool."""
+
+    def __init__(self, seed: int, workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 plan: Optional[RNGPlan] = None) -> None:
+        self.workers = resolve_workers(workers)
+        if plan is None:
+            plan = (RNGPlan(seed, chunk_pairs=chunk_size)
+                    if chunk_size else RNGPlan(seed))
+        self.plan = plan
+        self.pool = None
+        self._pool_failed = False
+
+    # -- RNG plan pass-throughs ---------------------------------------
+
+    def init_rng(self) -> np.random.Generator:
+        return self.plan.init_rng()
+
+    def topup_rng(self, step: int) -> np.random.Generator:
+        return self.plan.aux_rng(step, AUX_TOPUP)
+
+    def post_step_rng(self, step: int) -> np.random.Generator:
+        return self.plan.aux_rng(step, AUX_POST)
+
+    def shard(self, shard_index: int) -> "ExecutionContext":
+        """Context for one multi-device shard: a namespaced plan over
+        the same pool."""
+        ctx = ExecutionContext(self.plan.seed, workers=self.workers,
+                               plan=self.plan.shard(shard_index))
+        ctx.pool = self.pool
+        ctx._pool_failed = self._pool_failed
+        return ctx
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def begin_run(self, app: SamplingApp, graph,
+                  use_reference: bool = False) -> None:
+        """Attach the pool (spawning if needed) and broadcast the run's
+        app + shared graph.  Any failure degrades to in-process
+        execution with a warning — never a failed run."""
+        if self.workers < 1 or self._pool_failed:
+            return
+        try:
+            pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Locally-defined / closure-carrying apps cannot reach the
+            # spawn workers.  Not a pool failure: run in-process like
+            # any other non-dispatchable hook, same chunked plan.
+            return
+        try:
+            from repro.runtime.shm import export_graph
+            handle = export_graph(graph)
+            self.pool = get_pool(self.workers)
+            self.pool.broadcast_run(app, handle, self.plan.seed,
+                                    use_reference)
+        except WorkerCrash as exc:
+            self._abandon_pool(f"worker pool unavailable ({exc}); ")
+        except (OSError, ValueError) as exc:
+            # e.g. shared memory unsupported/full on this platform
+            self._abandon_pool(
+                f"could not share graph with workers ({exc!r}); ")
+
+    def _abandon_pool(self, why: str) -> None:
+        warnings.warn(why + "falling back to in-process execution "
+                      "(samples are unaffected)", RuntimeWarning,
+                      stacklevel=3)
+        if self.pool is not None:
+            retire_pool(self.pool)
+        self.pool = None
+        self._pool_failed = True
+
+    # -- individual steps ---------------------------------------------
+
+    def individual_step(
+        self,
+        app: SamplingApp,
+        graph,
+        batch,
+        transits: np.ndarray,
+        step: int,
+        sample_ids: np.ndarray,
+        cols: np.ndarray,
+        transit_vals: np.ndarray,
+        use_reference: bool = False,
+    ) -> Tuple[np.ndarray, StepInfo]:
+        """Chunked equivalent of the stepper's individual step."""
+        from repro.core.stepper import prev_transits_for
+        m = app.sample_size(step)
+        width = transits.shape[1] * m
+        out = np.full((batch.num_samples, max(width, 0)), NULL_VERTEX,
+                      dtype=np.int64)
+        prev = None
+        if app.needs_prev_transits:
+            prev = prev_transits_for(batch, step, sample_ids, cols)
+        bounds = self.plan.individual_bounds(int(transit_vals.size))
+        nchunks = bounds.size - 1
+        if nchunks <= 0:
+            return out, StepInfo()
+
+        dispatch = (
+            self.pool is not None and nchunks > 1 and not use_reference
+            and type(app).sample_neighbors
+            is not SamplingApp.sample_neighbors)
+        results: Dict[int, tuple] = {}
+        if dispatch:
+            jobs = []
+            for c in range(nchunks):
+                lo, hi = int(bounds[c]), int(bounds[c + 1])
+                roots_rows = batch.roots[sample_ids[lo:hi]]
+                jobs.append((c, ("ichunk", c, step,
+                                 self.plan.chunk_key(step, c),
+                                 transit_vals[lo:hi],
+                                 None if prev is None else prev[lo:hi],
+                                 roots_rows)))
+            results = self._dispatch(jobs)
+        for c in range(nchunks):
+            if c in results:
+                continue
+            lo, hi = int(bounds[c]), int(bounds[c + 1])
+            sampled, info = exec_individual_chunk(
+                app, graph, transit_vals[lo:hi], step,
+                self.plan.chunk_rng(step, c),
+                prev_transits=None if prev is None else prev[lo:hi],
+                batch=batch, sample_ids=sample_ids[lo:hi],
+                use_reference=use_reference)
+            results[c] = (sampled, info)
+
+        sampled_all = (results[0][0] if nchunks == 1 else
+                       np.concatenate([results[c][0]
+                                       for c in range(nchunks)], axis=0))
+        info = combine_infos([results[c][1] for c in range(nchunks)],
+                             np.diff(bounds).tolist())
+        if m > 0 and sample_ids.size:
+            if m == 1:
+                out[sample_ids, cols] = sampled_all[:, 0]
+            else:
+                slots = cols[:, None] * m + np.arange(m)[None, :]
+                out[sample_ids[:, None], slots] = sampled_all
+        return out, info
+
+    # -- collective steps ---------------------------------------------
+
+    def collective_step(
+        self,
+        app: SamplingApp,
+        graph,
+        batch,
+        transits: np.ndarray,
+        step: int,
+        use_reference: bool = False,
+    ) -> Tuple[np.ndarray, StepInfo, Optional[np.ndarray], np.ndarray]:
+        """Chunked equivalent of the stepper's collective step."""
+        from repro.api.apps._kernels import build_combined_neighborhood
+        if app.needs_combined_values or use_reference:
+            values, offsets = build_combined_neighborhood(graph, transits)
+        else:
+            t = np.asarray(transits, dtype=np.int64)
+            flat = t.ravel()
+            live = flat != NULL_VERTEX
+            deg = np.zeros(flat.size, dtype=np.int64)
+            deg[live] = graph.degrees_array[flat[live]]
+            per_sample = deg.reshape(t.shape[0], -1).sum(axis=1)
+            offsets = np.zeros(t.shape[0] + 1, dtype=np.int64)
+            np.cumsum(per_sample, out=offsets[1:])
+            values = None
+
+        num_rows = int(np.asarray(transits).shape[0])
+        bounds = self.plan.collective_bounds(num_rows)
+        nchunks = bounds.size - 1
+        if nchunks <= 0:
+            empty = np.full((batch.num_samples, 0), NULL_VERTEX,
+                            dtype=np.int64)
+            return empty, StepInfo(), None, np.diff(offsets)
+
+        dispatch = (
+            self.pool is not None and nchunks > 1 and not use_reference
+            and values is None and not app.collective_needs_batch
+            and type(app).sample_from_neighborhood
+            is not SamplingApp.sample_from_neighborhood)
+        results: Dict[int, tuple] = {}
+        if dispatch:
+            jobs = []
+            for c in range(nchunks):
+                lo, hi = int(bounds[c]), int(bounds[c + 1])
+                offs = offsets[lo:hi + 1] - offsets[lo]
+                jobs.append((c, ("cchunk", c, step,
+                                 self.plan.chunk_key(step, c),
+                                 None, offs,
+                                 np.asarray(transits)[lo:hi])))
+            results = self._dispatch(jobs)
+        for c in range(nchunks):
+            if c in results:
+                continue
+            lo, hi = int(bounds[c]), int(bounds[c + 1])
+            vals_chunk = (None if values is None
+                          else values[offsets[lo]:offsets[hi]])
+            vertices, info = exec_collective_chunk(
+                app, graph, _BatchRows(batch, lo, hi), vals_chunk,
+                offsets[lo:hi + 1] - offsets[lo],
+                np.asarray(transits)[lo:hi], step,
+                self.plan.chunk_rng(step, c),
+                use_reference=use_reference)
+            results[c] = (vertices, info)
+
+        new_vertices = (results[0][0] if nchunks == 1 else
+                        np.concatenate([results[c][0]
+                                        for c in range(nchunks)], axis=0))
+        info = combine_infos([results[c][1] for c in range(nchunks)],
+                             np.diff(bounds).tolist())
+        edges = app.record_step_edges(graph, batch, transits,
+                                      new_vertices, step)
+        return new_vertices, info, edges, np.diff(offsets)
+
+    # -- pool dispatch with crash fallback ----------------------------
+
+    def _dispatch(self, jobs) -> Dict[int, tuple]:
+        try:
+            return self.pool.run_chunks(jobs)
+        except WorkerCrash as exc:
+            partial = dict(exc.results)
+            self._abandon_pool(
+                f"worker pool crashed mid-step ({exc}); re-running "
+                f"{len(jobs) - len(partial)} chunks in-process and ")
+            return partial

@@ -1,0 +1,243 @@
+"""Persistent spawn-based worker pool with backpressure + crash safety.
+
+One :class:`WorkerPool` owns N spawned processes, each running
+:func:`repro.runtime.worker.worker_main` over a duplex pipe.  Chunks
+are dispatched round-robin with a bounded number in flight per worker
+(backpressure: a step with thousands of chunks never floods the pipes),
+and results are collected with ``multiprocessing.connection.wait`` so a
+dead worker is noticed immediately instead of hanging the run.
+
+Failure model:
+
+* **Worker crash** (process dies, pipe EOF, or no progress within the
+  watchdog timeout): :meth:`run_chunks` raises :class:`WorkerCrash`
+  carrying every result already collected.  The execution context
+  catches it, re-runs the missing chunks in-process — bitwise-identical
+  by chunk purity — and retires the pool.
+* **Application exception inside a chunk**: deterministic, would fail
+  in-process too; re-raised in the parent as :class:`ChunkError` with
+  the worker traceback.
+
+Pools are cached in a module-global registry keyed by worker count
+(spawn start-up costs ~100ms per worker; engines and repeated runs
+share the pool), and every pool is shut down at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import pickle
+import threading
+import time
+from multiprocessing.connection import wait as conn_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["WorkerPool", "WorkerCrash", "ChunkError", "get_pool",
+           "shutdown_pools"]
+
+#: Chunks in flight per worker.  2 keeps every worker busy (one running,
+#: one queued) without buffering a whole step in the pipes.
+MAX_INFLIGHT = 2
+
+#: Watchdog: if no worker produces a result for this long while chunks
+#: are outstanding, the pool is declared wedged.
+PROGRESS_TIMEOUT_S = 120.0
+
+
+class WorkerCrash(RuntimeError):
+    """A worker died (or wedged) mid-step.  ``results`` holds the
+    chunk results collected before the crash, keyed by chunk id."""
+
+    def __init__(self, message: str, results: Dict[int, tuple]) -> None:
+        super().__init__(message)
+        self.results = results
+
+
+class ChunkError(RuntimeError):
+    """An application exception raised inside a worker chunk."""
+
+
+class WorkerPool:
+    """N persistent spawn workers consuming chunk messages."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        ctx = mp.get_context("spawn")
+        self.num_workers = num_workers
+        self.procs: List[mp.Process] = []
+        self.conns = []
+        # Serialises dispatch across threads (multi-device shards share
+        # one pool); the pipe protocol is not concurrency-safe.
+        self.lock = threading.Lock()
+        self._closed = False
+        from repro.runtime.worker import worker_main
+        for i in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(target=worker_main, args=(child_conn, i),
+                               name=f"repro-worker-{i}", daemon=True)
+            proc.start()
+            child_conn.close()
+            self.procs.append(proc)
+            self.conns.append(parent_conn)
+
+    # ------------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        return (not self._closed
+                and all(p.is_alive() for p in self.procs))
+
+    def broadcast_run(self, app, graph_handle, seed: int,
+                      use_reference: bool) -> None:
+        """Install one run's context (app, shared graph, seed) on
+        every worker.  Raises :class:`WorkerCrash` on any failure."""
+        blob = pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
+        with self.lock:
+            try:
+                for conn in self.conns:
+                    conn.send(("run", blob, graph_handle,
+                               int(seed), bool(use_reference)))
+                deadline = time.monotonic() + PROGRESS_TIMEOUT_S
+                for w, conn in enumerate(self.conns):
+                    while True:
+                        if not conn.poll(max(0.0,
+                                             deadline - time.monotonic())):
+                            raise WorkerCrash(
+                                f"worker {w} did not acknowledge run "
+                                "setup", {})
+                        reply = conn.recv()
+                        if reply[0] == "ready":
+                            break
+                        if reply[0] == "err":
+                            raise ChunkError(
+                                f"worker {w} failed run setup:\n"
+                                f"{reply[2]}")
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                raise WorkerCrash(f"worker pipe failed during run "
+                                  f"setup: {exc!r}", {}) from exc
+
+    def run_chunks(self, jobs: Sequence[Tuple[int, tuple]]
+                   ) -> Dict[int, tuple]:
+        """Dispatch ``(chunk_id, message)`` jobs; return
+        ``{chunk_id: payload}`` where payload is the message-specific
+        result tuple (e.g. ``(sampled, info)``)."""
+        with self.lock:
+            return self._run_chunks_locked(jobs)
+
+    def _run_chunks_locked(self, jobs) -> Dict[int, tuple]:
+        results: Dict[int, tuple] = {}
+        pending = list(jobs)[::-1]  # pop() from the front of the list
+        inflight = {w: 0 for w in range(self.num_workers)}
+        outstanding = 0
+        conn_of = {id(c): w for w, c in enumerate(self.conns)}
+
+        def fill() -> None:
+            nonlocal outstanding
+            for w, conn in enumerate(self.conns):
+                while pending and inflight[w] < MAX_INFLIGHT:
+                    chunk_id, message = pending.pop()
+                    try:
+                        conn.send(message)
+                    except (OSError, BrokenPipeError) as exc:
+                        raise WorkerCrash(
+                            f"worker {w} pipe closed during dispatch: "
+                            f"{exc!r}", results) from exc
+                    inflight[w] += 1
+                    outstanding += 1
+
+        fill()
+        while outstanding:
+            ready = conn_wait(self.conns, timeout=PROGRESS_TIMEOUT_S)
+            if not ready:
+                raise WorkerCrash(
+                    f"pool made no progress for {PROGRESS_TIMEOUT_S:.0f}s "
+                    f"({outstanding} chunks outstanding)", results)
+            for conn in ready:
+                w = conn_of[id(conn)]
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerCrash(
+                        f"worker {w} died ({outstanding} chunks "
+                        "outstanding)", results) from exc
+                kind = reply[0]
+                if kind == "ok":
+                    results[reply[1]] = reply[2:]
+                    inflight[w] -= 1
+                    outstanding -= 1
+                elif kind == "err":
+                    raise ChunkError(
+                        f"chunk {reply[1]} failed on worker {w}:\n"
+                        f"{reply[2]}")
+                else:  # pragma: no cover - protocol error
+                    raise WorkerCrash(
+                        f"worker {w} sent unexpected {kind!r}", results)
+            fill()
+        return results
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        """Stop all workers; terminate any that don't exit in time."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=timeout)
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Global registry: one pool per worker count, reused across engine runs.
+# ----------------------------------------------------------------------
+
+_POOLS: Dict[int, WorkerPool] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_pool(num_workers: int) -> WorkerPool:
+    """The shared pool with ``num_workers`` workers, (re)spawning it if
+    absent or unhealthy."""
+    with _REGISTRY_LOCK:
+        pool = _POOLS.get(num_workers)
+        if pool is not None and pool.healthy():
+            return pool
+        if pool is not None:
+            pool.shutdown()
+        pool = WorkerPool(num_workers)
+        _POOLS[num_workers] = pool
+        return pool
+
+
+def retire_pool(pool: WorkerPool) -> None:
+    """Shut down ``pool`` and drop it from the registry (crash path)."""
+    with _REGISTRY_LOCK:
+        for n, p in list(_POOLS.items()):
+            if p is pool:
+                del _POOLS[n]
+        pool.shutdown()
+
+
+def shutdown_pools() -> None:
+    """Shut down every registered pool (atexit + tests)."""
+    with _REGISTRY_LOCK:
+        for pool in _POOLS.values():
+            pool.shutdown()
+        _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

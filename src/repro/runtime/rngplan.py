@@ -1,0 +1,136 @@
+"""Deterministic chunked RNG plan.
+
+The multicore runtime splits each step's flattened (sample, transit)
+pair array into fixed-size chunks and samples every chunk with its own
+:class:`numpy.random.Generator`.  Chunk seeds are derived with
+``SeedSequence`` keyed on ``(step, chunk index)`` — the keyed
+construction ``SeedSequence(entropy=seed, spawn_key=key)`` is exactly
+what ``SeedSequence(seed).spawn()`` hands out, minus the requirement to
+spawn sequentially — so the seed of any chunk is a pure function of
+``(seed, step, chunk)``:
+
+* the **same plan** is consumed whether chunks run in the parent
+  process (``workers=0``) or on any number of pool workers, in any
+  completion order, so samples are bitwise-identical for every worker
+  count;
+* a crashed pool can fall back to in-process execution mid-step and
+  still produce the identical batch, because re-running a chunk
+  re-creates its generator from scratch.
+
+This replaces the single sequential PCG64 stream the engines threaded
+through every step before the multicore runtime existed; archived
+sample expectations were re-seeded once when the plan landed (see
+``docs/PERF.md``).
+
+Auxiliary consumers that used to share the sequential stream — root
+initialisation, the unique-neighbor top-up, ``post_step`` state
+updates — each get their own keyed stream so their draws cannot shift
+with the chunk count.
+
+Key layout (all under an optional ``namespace`` prefix, used to give
+each multi-GPU shard an independent plan)::
+
+    (0,)                 init: roots + app.init_state
+    (1, step, chunk)     step sampling, one stream per chunk
+    (2, step, slot)      aux streams (0 = unique top-up, 1 = post_step)
+    (3, shard) + key     per-shard namespace for multi-device runs
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RNGPlan", "DEFAULT_CHUNK_PAIRS", "AUX_TOPUP", "AUX_POST"]
+
+#: Pairs per chunk for individual (per-transit) sampling.  Part of the
+#: determinism contract: changing it changes the sampled values (but
+#: never their distribution), exactly like changing the seed.
+DEFAULT_CHUNK_PAIRS = 4096
+
+#: Aux stream slots.
+AUX_TOPUP = 0
+AUX_POST = 1
+
+_DOMAIN_INIT = 0
+_DOMAIN_STEP = 1
+_DOMAIN_AUX = 2
+_DOMAIN_SHARD = 3
+
+
+def generator_for(seed: int, key: Tuple[int, ...]) -> np.random.Generator:
+    """The Generator for one plan key: ``SeedSequence`` keyed off the
+    run seed.  Pure function of ``(seed, key)`` — safe to call in any
+    process, any number of times."""
+    ss = np.random.SeedSequence(entropy=int(seed), spawn_key=tuple(key))
+    return np.random.default_rng(ss)
+
+
+class RNGPlan:
+    """The deterministic chunk layout + seed derivation of one run."""
+
+    def __init__(self, seed: int, chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+                 chunk_rows: Optional[int] = None,
+                 namespace: Tuple[int, ...] = ()) -> None:
+        if chunk_pairs < 1:
+            raise ValueError("chunk_pairs must be >= 1")
+        self.seed = int(seed)
+        self.chunk_pairs = int(chunk_pairs)
+        # Collective steps chunk over *samples*; each row is a whole
+        # combined-neighborhood selection, so rows are far heavier than
+        # individual pairs.
+        self.chunk_rows = int(chunk_rows) if chunk_rows is not None \
+            else max(1, self.chunk_pairs // 32)
+        if self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        self.namespace = tuple(int(k) for k in namespace)
+
+    # -- seed derivation ----------------------------------------------
+
+    def _key(self, *key: int) -> Tuple[int, ...]:
+        return self.namespace + tuple(key)
+
+    def init_rng(self) -> np.random.Generator:
+        """Stream for root selection + ``app.init_state``."""
+        return generator_for(self.seed, self._key(_DOMAIN_INIT))
+
+    def chunk_key(self, step: int, chunk: int) -> Tuple[int, ...]:
+        return self._key(_DOMAIN_STEP, step, chunk)
+
+    def chunk_rng(self, step: int, chunk: int) -> np.random.Generator:
+        """Stream for chunk ``chunk`` of step ``step``'s sampling."""
+        return generator_for(self.seed, self.chunk_key(step, chunk))
+
+    def aux_rng(self, step: int, slot: int) -> np.random.Generator:
+        """Per-step aux stream (``AUX_TOPUP`` / ``AUX_POST``)."""
+        return generator_for(self.seed, self._key(_DOMAIN_AUX, step, slot))
+
+    def shard(self, shard_index: int) -> "RNGPlan":
+        """An independent plan for one multi-device shard."""
+        return RNGPlan(self.seed, chunk_pairs=self.chunk_pairs,
+                       chunk_rows=self.chunk_rows,
+                       namespace=self.namespace
+                       + (_DOMAIN_SHARD, int(shard_index)))
+
+    # -- chunk layout -------------------------------------------------
+
+    @staticmethod
+    def _bounds(n: int, size: int) -> np.ndarray:
+        if n <= 0:
+            return np.zeros(1, dtype=np.int64)
+        return np.append(np.arange(0, n, size, dtype=np.int64),
+                         np.int64(n))
+
+    def individual_bounds(self, num_pairs: int) -> np.ndarray:
+        """Chunk boundaries over a step's flattened pair array:
+        ``[0, c, 2c, ..., num_pairs]``."""
+        return self._bounds(num_pairs, self.chunk_pairs)
+
+    def collective_bounds(self, num_samples: int) -> np.ndarray:
+        """Chunk boundaries over a collective step's sample rows."""
+        return self._bounds(num_samples, self.chunk_rows)
+
+    def __repr__(self) -> str:
+        return (f"RNGPlan(seed={self.seed}, chunk_pairs={self.chunk_pairs}, "
+                f"chunk_rows={self.chunk_rows}, namespace={self.namespace})")

@@ -1,0 +1,218 @@
+"""Zero-copy graph sharing via ``multiprocessing.shared_memory``.
+
+The worker pool must read the same CSR arrays the parent samples from
+without pickling or copying them into every worker.  ``export_graph``
+places ``indptr`` / ``indices`` / ``weights`` — plus the lazy caches
+the hot paths rely on (degrees, the global weight cumsum, the per-row
+weight spans and row maxima) — into named shared-memory segments and
+returns a small picklable :class:`SharedGraphHandle`.  ``import_graph``
+maps those segments read-only into a :class:`~repro.graph.csr.CSRGraph`
+without running any of the constructor's validation or sorting (the
+exporter's arrays are already validated and row-sorted).
+
+Cleanup is owner-side: the exporting process unlinks every segment via
+``release_graph`` / ``release_all`` (also registered with ``atexit``),
+and importers only ever ``close()`` their mappings.  On Python < 3.13
+an attaching process wrongly registers the segment with its resource
+tracker (bpo-38119), which would unlink it when that process exits;
+``_attach`` undoes the registration so workers cannot reap segments
+they do not own.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["SharedGraphHandle", "export_graph", "import_graph",
+           "release_graph", "release_all", "SEGMENT_PREFIX"]
+
+#: Prefix of every segment this module creates — the leak tests sweep
+#: ``/dev/shm`` for it.
+SEGMENT_PREFIX = "reprocsr"
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable description of one exported graph.
+
+    ``arrays`` maps field name -> (segment name, dtype string, shape).
+    ``key`` is unique per export and is what worker-side caches key on.
+    """
+
+    key: str
+    graph_name: str
+    arrays: Dict[str, Tuple[str, str, Tuple[int, ...]]] = field(
+        default_factory=dict)
+
+    def segment_names(self) -> List[str]:
+        return [seg for seg, _, _ in self.arrays.values()]
+
+
+#: Exporter-side state: handle key -> list of SharedMemory objects
+#: (kept referenced so the mappings stay alive until release).
+_OWNED: Dict[str, List[shared_memory.SharedMemory]] = {}
+
+
+def _export_array(handle_arrays, segments, key: str, name: str,
+                  arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(int(arr.nbytes), 1),
+        name=f"{SEGMENT_PREFIX}_{key}_{name}")
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    segments.append(shm)
+    handle_arrays[name] = (shm.name, arr.dtype.str, tuple(arr.shape))
+
+
+def export_graph(graph: CSRGraph) -> SharedGraphHandle:
+    """Place ``graph``'s arrays (and warm caches) in shared memory.
+
+    Idempotent per graph object: the handle is cached on the instance,
+    so repeated runs over the same graph share one set of segments.
+    """
+    cached = getattr(graph, "_shared_handle", None)
+    if cached is not None and cached.key in _OWNED:
+        return cached
+    key = secrets.token_hex(4)
+    arrays: Dict[str, Tuple[str, str, Tuple[int, ...]]] = {}
+    segments: List[shared_memory.SharedMemory] = []
+    try:
+        _export_array(arrays, segments, key, "indptr", graph.indptr)
+        _export_array(arrays, segments, key, "indices", graph.indices)
+        _export_array(arrays, segments, key, "degrees",
+                      graph.degrees_array)
+        if graph.is_weighted:
+            _export_array(arrays, segments, key, "weights", graph.weights)
+            _export_array(arrays, segments, key, "wcumsum",
+                          graph.global_weight_cumsum())
+            base, total = graph.weight_row_spans()
+            _export_array(arrays, segments, key, "wrowbase", base)
+            _export_array(arrays, segments, key, "wrowtotal", total)
+            _export_array(arrays, segments, key, "wrowmax",
+                          graph.row_max_weight())
+    except BaseException:
+        for shm in segments:
+            shm.close()
+            shm.unlink()
+        raise
+    handle = SharedGraphHandle(key=key, graph_name=graph.name,
+                               arrays=arrays)
+    _OWNED[key] = segments
+    graph._shared_handle = handle
+    return handle
+
+
+def release_graph(graph_or_handle) -> None:
+    """Unlink the segments of one exported graph (owner side)."""
+    handle = getattr(graph_or_handle, "_shared_handle", graph_or_handle)
+    if not isinstance(handle, SharedGraphHandle):
+        return
+    segments = _OWNED.pop(handle.key, None)
+    if segments is None:
+        return
+    for shm in segments:
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def release_all() -> None:
+    """Unlink every segment this process exported."""
+    for key in list(_OWNED):
+        release_graph(SharedGraphHandle(key=key, graph_name="", arrays={}))
+
+
+# Handles carry their own segment names, so release by key alone works:
+# make the dummy-handle trick above explicit.
+def _release_by_key(key: str) -> None:  # pragma: no cover - alias
+    release_graph(SharedGraphHandle(key=key, graph_name="", arrays={}))
+
+
+atexit.register(release_all)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    # bpo-38119: before 3.13, attaching also registers the segment with
+    # the resource tracker, which would unlink it (and warn) when the
+    # attaching process exits.  Worse, spawned workers inherit the
+    # *parent's* tracker process, so a worker-side ``unregister`` would
+    # drop the exporter's own registration and make the exporter's
+    # ``unlink`` warn instead.  Suppress registration during the attach:
+    # only the exporter's create-time registration survives.
+    try:  # pragma: no cover - depends on interpreter version
+        from multiprocessing import resource_tracker
+        orig = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig
+    except ImportError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def import_graph(handle: SharedGraphHandle) -> CSRGraph:
+    """Map an exported graph read-only, skipping construction work.
+
+    The returned graph's arrays are views into the shared segments;
+    the ``SharedMemory`` objects ride on the instance so the mappings
+    outlive any caller-held array views.
+    """
+    segments: List[shared_memory.SharedMemory] = []
+    views: Dict[str, np.ndarray] = {}
+    try:
+        for name, (seg, dtype, shape) in handle.arrays.items():
+            shm = _attach(seg)
+            segments.append(shm)
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+            view.flags.writeable = False
+            views[name] = view
+    except BaseException:
+        for shm in segments:
+            shm.close()
+        raise
+    graph = CSRGraph.__new__(CSRGraph)
+    graph.indptr = views["indptr"]
+    graph.indices = views["indices"]
+    graph.weights = views.get("weights")
+    graph.name = handle.graph_name
+    graph._weight_prefix = None
+    graph._degrees_cache = views["degrees"]
+    if "wcumsum" in views:
+        graph._global_cumsum_cache = views["wcumsum"]
+        graph._weight_row_spans_cache = (views["wrowbase"],
+                                         views["wrowtotal"])
+        graph._row_max_cache = views["wrowmax"]
+    graph._shm_refs = segments
+    return graph
+
+
+def close_imported(graph: CSRGraph) -> None:
+    """Close an importer's mappings (does not unlink)."""
+    for shm in getattr(graph, "_shm_refs", []):
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - best effort
+            pass
+
+
+def leaked_segments() -> List[str]:
+    """Names of this module's segments still present in ``/dev/shm``
+    (test helper; empty list on platforms without /dev/shm)."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover
+        return []
+    return sorted(n for n in os.listdir(shm_dir)
+                  if n.startswith(SEGMENT_PREFIX))

@@ -1,0 +1,170 @@
+"""Worker-side execution: chunk executors + the pool worker loop.
+
+The functions :func:`exec_individual_chunk` and
+:func:`exec_collective_chunk` are the *only* code that runs a chunk of
+a step's sampling — the parent's in-process path and the pool workers
+both call them, so a chunk's result is a pure function of
+``(app, graph, chunk data, chunk generator)`` no matter where it runs.
+That purity is what makes the runtime's two core guarantees hold:
+samples are bitwise-identical for any worker count, and a chunk lost to
+a worker crash can be re-run in-process with an identical outcome.
+
+``worker_main`` is the persistent child-process loop: it attaches the
+shared-memory graph once per run, unpickles the application once per
+run, then answers chunk messages until told to stop.  Messages are
+tuples ``(kind, ...)`` over a duplex ``Pipe``:
+
+=======================  ============================================
+parent -> worker          worker -> parent
+=======================  ============================================
+("run", blob, handle,     ("ready",) | ("err", None, traceback)
+ seed, use_ref)
+("ichunk", id, step,      ("ok", id, sampled, info) |
+ key, vals, prev, roots)  ("err", id, traceback)
+("cchunk", id, step,      ("ok", id, vertices, info) |
+ key, vals, offs, rows)   ("err", id, traceback)
+("ping",)                 ("pong",)
+("crash",)                *process exits hard (tests only)*
+("stop",)                 *process exits cleanly*
+=======================  ============================================
+
+Application hooks dispatched to workers may read
+``batch.roots[sample_ids]`` and ``batch.num_samples`` (served by
+:class:`StubBatch` below — individual chunks ship the chunk's root rows
+and renumber ``sample_ids`` chunk-locally, which gathers the identical
+values) but nothing else of the batch; the dispatch gate in
+:mod:`repro.runtime.context` keeps batch-dependent hooks (declared via
+``SamplingApp.collective_needs_batch``, or any un-overridden reference
+path) in the parent process.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.api.app import SamplingApp
+from repro.api.types import StepInfo
+from repro.runtime.rngplan import generator_for
+from repro.runtime.shm import import_graph
+
+__all__ = ["exec_individual_chunk", "exec_collective_chunk",
+           "StubBatch", "worker_main"]
+
+
+class StubBatch:
+    """The slice of batch state worker-dispatched hooks may read.
+
+    Walk-with-restart reads ``batch.roots[sample_ids, 0]`` (global
+    sample ids — the full roots array is broadcast once per run);
+    collective importance samplers read ``batch.num_samples``.
+    """
+
+    def __init__(self, roots: Optional[np.ndarray],
+                 num_samples: int) -> None:
+        self.roots = roots
+        self.num_samples = int(num_samples)
+
+
+def exec_individual_chunk(
+    app: SamplingApp,
+    graph,
+    transit_vals: np.ndarray,
+    step: int,
+    rng: np.random.Generator,
+    prev_transits: Optional[np.ndarray] = None,
+    batch=None,
+    sample_ids: Optional[np.ndarray] = None,
+    use_reference: bool = False,
+) -> Tuple[np.ndarray, StepInfo]:
+    """Run one chunk of an individual step's flattened pairs."""
+    sampler = (SamplingApp.sample_neighbors.__get__(app)
+               if use_reference else app.sample_neighbors)
+    return sampler(graph, transit_vals, step, rng,
+                   prev_transits=prev_transits, batch=batch,
+                   sample_ids=sample_ids)
+
+
+def exec_collective_chunk(
+    app: SamplingApp,
+    graph,
+    batch,
+    neigh_values: Optional[np.ndarray],
+    sample_offsets: np.ndarray,
+    transits: np.ndarray,
+    step: int,
+    rng: np.random.Generator,
+    use_reference: bool = False,
+) -> Tuple[np.ndarray, StepInfo]:
+    """Run one chunk (a contiguous block of sample rows) of a
+    collective step.  ``sample_offsets`` must be rebased to the chunk
+    (first entry 0) and ``batch`` sized to the chunk's rows."""
+    chooser = (SamplingApp.sample_from_neighborhood.__get__(app)
+               if use_reference else app.sample_from_neighborhood)
+    return chooser(graph, batch, neigh_values, sample_offsets, transits,
+                   step, rng)
+
+
+def worker_main(conn, worker_index: int) -> None:
+    """Body of one pool worker process (spawn entry point)."""
+    graphs = {}
+    graph = None
+    app: Optional[SamplingApp] = None
+    seed = 0
+    use_reference = False
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # parent died: exit quietly, owner unlinks segments
+        kind = msg[0]
+        try:
+            if kind == "stop":
+                conn.close()
+                return
+            elif kind == "ping":
+                conn.send(("pong",))
+            elif kind == "crash":
+                # Test hook: die without cleanup, as a real segfault
+                # or OOM kill would.
+                os._exit(17)
+            elif kind == "run":
+                _, blob, handle, seed, use_reference = msg
+                app = pickle.loads(blob)
+                if handle.key not in graphs:
+                    graphs[handle.key] = import_graph(handle)
+                graph = graphs[handle.key]
+                conn.send(("ready",))
+            elif kind == "ichunk":
+                _, chunk_id, step, key, vals, prev, roots_rows = msg
+                rng = generator_for(seed, key)
+                stub = StubBatch(roots_rows, 0 if roots_rows is None
+                                 else roots_rows.shape[0])
+                sampled, info = exec_individual_chunk(
+                    app, graph, vals, step, rng, prev_transits=prev,
+                    batch=stub,
+                    sample_ids=np.arange(np.asarray(vals).size),
+                    use_reference=use_reference)
+                conn.send(("ok", chunk_id, sampled, info))
+            elif kind == "cchunk":
+                _, chunk_id, step, key, vals, offs, transits = msg
+                rng = generator_for(seed, key)
+                stub = StubBatch(None, transits.shape[0])
+                vertices, info = exec_collective_chunk(
+                    app, graph, stub, vals, offs, transits, step, rng,
+                    use_reference=use_reference)
+                conn.send(("ok", chunk_id, vertices, info))
+            else:
+                conn.send(("err", None,
+                           f"unknown message kind {kind!r}"))
+        except Exception:
+            chunk_id = msg[1] if len(msg) > 1 and kind in (
+                "ichunk", "cchunk") else None
+            try:
+                conn.send(("err", chunk_id, traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                return
