@@ -29,7 +29,10 @@ pooled runs are never scored against in-process baselines.
 ``--workers N`` runs the grid on the multicore sampling runtime
 (samples are bitwise-identical either way).  The report also carries a
 NextDoor workers=0 vs workers=4 comparison per workload, skipped with
-an explanatory note on hosts with fewer than 4 cores.
+an explanatory note on hosts with fewer than 4 cores, plus a traced
+per-stage breakdown per workload (span totals from ``repro.obs``) and
+the disabled-tracer overhead measurement that guards the <2%
+instrumentation contract (``--no-stages`` skips both).
 
 Usage::
 
@@ -66,9 +69,11 @@ from repro.baselines import (  # noqa: E402
 )
 from repro.core.engine import NextDoorEngine  # noqa: E402
 from repro.graph import datasets  # noqa: E402
+from repro.obs import stats_summary, trace  # noqa: E402
 from repro.runtime import DEFAULT_CHUNK_PAIRS  # noqa: E402
 
-__all__ = ["run_wallclock", "main"]
+__all__ = ["run_wallclock", "run_stage_breakdown",
+           "measure_tracer_overhead", "main"]
 
 #: Default output path — the repo-root perf trajectory file.
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
@@ -143,8 +148,68 @@ def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "platform": platform.platform(),
+        "git_sha": _git_sha(),
         "results": results,
     }
+
+
+def _git_sha() -> Optional[str]:
+    """HEAD commit of the repo this harness ran from (None outside a
+    checkout) — makes BENCH_wallclock.json entries comparable across
+    the perf trajectory."""
+    import subprocess
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def run_stage_breakdown(quick: bool = False, seed: int = 7,
+                        workers: int = 0) -> Dict:
+    """Per-stage wall-clock attribution of one traced NextDoor run per
+    workload (span totals by name, in seconds) — the host-side analogue
+    of the paper's Table 4 / Figure 8 stage attribution."""
+    breakdown: Dict[str, Dict] = {}
+    for wl_name, app_factory, weighted, full_n, quick_n in WORKLOADS:
+        num_samples = quick_n if quick else full_n
+        graph = datasets.load(GRAPH, weighted=weighted)
+        engine = NextDoorEngine(workers=workers)
+        engine.run(app_factory(), graph, num_samples=num_samples,
+                   seed=seed)  # warm-up, untraced
+        tracer = trace.enable()
+        try:
+            engine.run(app_factory(), graph, num_samples=num_samples,
+                       seed=seed)
+            spans = stats_summary(tracer=tracer)["spans"]
+        finally:
+            trace.disable()
+        breakdown[wl_name] = {
+            name: agg["total_s"] for name, agg in spans.items()}
+        top = sorted(((s, n) for n, s in breakdown[wl_name].items()
+                      if n not in ("run", "step")), reverse=True)[:3]
+        print(f"{wl_name:>14s} | stages  "
+              + "  ".join(f"{n}={s * 1e3:.1f}ms" for s, n in top))
+    return breakdown
+
+
+def measure_tracer_overhead() -> Dict[str, float]:
+    """Cost of the instrumentation when tracing is disabled (the
+    default): nanoseconds per no-op span.  Guards the <2% overhead
+    contract — at ~10 spans per step this must stay far below the
+    per-step numpy work."""
+    assert not trace.tracing_enabled()
+    n = 200_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        with trace.span("overhead_probe", step=i):
+            pass
+    per_span_ns = (time.perf_counter() - t0) / n * 1e9
+    print(f"tracer overhead: {per_span_ns:.0f} ns per disabled span")
+    return {"noop_span_ns": per_span_ns, "spans_measured": n}
 
 
 def run_multicore(quick: bool = False, seed: int = 7,
@@ -230,6 +295,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {DEFAULT_CHUNK_PAIRS})")
     parser.add_argument("--no-multicore", action="store_true",
                         help="skip the workers=0 vs workers=4 comparison")
+    parser.add_argument("--no-stages", action="store_true",
+                        help="skip the traced per-stage breakdown")
     args = parser.parse_args(argv)
 
     out_dir = os.path.dirname(os.path.abspath(args.output))
@@ -242,6 +309,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.no_multicore:
         report["multicore"] = run_multicore(quick=args.quick,
                                             seed=args.seed)
+    if not args.no_stages:
+        report["stage_breakdown"] = run_stage_breakdown(
+            quick=args.quick, seed=args.seed, workers=args.workers)
+        report["tracer_overhead"] = measure_tracer_overhead()
     if os.path.abspath(args.output) != os.path.abspath(args.baseline):
         _attach_speedups(report, args.baseline)
     with open(args.output, "w") as f:
@@ -258,6 +329,12 @@ def test_wallclock_smoke(tmp_path):
         for eng, cell in engines.items():
             assert cell["seconds"] > 0, (wl, eng)
             assert cell["steps_run"] > 0, (wl, eng)
+    assert report["numpy"] == np.__version__
+    assert report["platform"]
+    report["stage_breakdown"] = run_stage_breakdown(quick=True)
+    for wl, spans in report["stage_breakdown"].items():
+        assert spans.get("run", 0) > 0, wl
+        assert "scheduling_index" in spans, wl
     out = tmp_path / "BENCH_wallclock.json"
     out.write_text(json.dumps(report))
     assert json.loads(out.read_text())["results"]

@@ -28,6 +28,7 @@ from repro.core.engine import SamplingResult
 from repro.core.transit_map import flatten_transits
 from repro.gpu.cpu_model import CpuDevice, CpuTask
 from repro.gpu.spec import CPUSpec, XEON_SILVER_4216
+from repro.obs import get_metrics, trace
 from repro.runtime.context import ExecutionContext
 
 __all__ = ["ReferenceSamplerEngine"]
@@ -56,62 +57,83 @@ class ReferenceSamplerEngine:
             num_samples: Optional[int] = None,
             roots: Optional[np.ndarray] = None,
             seed: int = 0) -> SamplingResult:
+        with trace.span("run", engine=self.engine_name, app=app.name,
+                        graph=graph.name) as run_span:
+            result = self._run_traced(app, graph, num_samples, roots,
+                                      seed, run_span)
+        reg = get_metrics()
+        reg.counter("engine.runs").inc()
+        reg.counter("engine.samples_produced").inc(result.batch.num_samples)
+        reg.counter("engine.steps_run").inc(result.steps_run)
+        return result
+
+    def _run_traced(self, app: SamplingApp, graph, num_samples, roots,
+                    seed: int, run_span) -> SamplingResult:
         ctx = ExecutionContext(seed, workers=self.workers,
                                chunk_size=self.chunk_size)
         batch = stepper.init_batch(app, graph, num_samples, roots,
                                    ctx.init_rng())
+        run_span.set(samples=batch.num_samples)
         ctx.begin_run(app, graph, use_reference=self.use_reference)
         cpu = CpuDevice(self.spec)
         collective = app.sampling_type() is SamplingType.COLLECTIVE
         limit = stepper.step_limit(app)
         step = 0
         while step < limit:
-            transits = app.transits_for_step(batch, step)
-            sample_ids, cols, vals = flatten_transits(transits)
-            if vals.size == 0:
-                break
-            m = app.sample_size(step)
-            if collective:
-                new_vertices, info, edges, neigh_sizes = \
-                    stepper.run_collective_step(
-                        app, graph, batch, transits, step, ctx,
-                        use_reference=self.use_reference)
-                # The reference implementations materialise each
-                # sample's combined neighborhood as Python/numpy
-                # objects before selecting from it.
-                cpu.run([CpuTask(ops=float(neigh_sizes.mean()) * 4.0,
-                                 sequential_bytes=float(neigh_sizes.mean()) * 8,
-                                 random_accesses=float(
-                                     (transits != NULL_VERTEX).sum(axis=1).mean()),
-                                 count=batch.num_samples)],
-                        name=f"ref_neighborhood_{step}", parallel=False)
-                produced = batch.num_samples * max(m, 1)
-                cpu.run([CpuTask(ops=self.ops_per_vertex,
-                                 random_accesses=1.0,
-                                 count=produced)],
-                        name=f"ref_select_{step}", parallel=False)
-                if edges is not None:
-                    batch.record_edges(edges)
-                    cpu.run([CpuTask(ops=6.0, random_accesses=0.5,
-                                     count=int(vals.size) * max(m, 1))],
-                            name=f"ref_edges_{step}", parallel=False)
-            else:
-                new_vertices, info = stepper.run_individual_step(
-                    app, graph, batch, transits, step, ctx,
-                    sample_ids, cols, vals,
-                    use_reference=self.use_reference)
-                produced = int(vals.size) * max(m, 1)
-                rounds = max(1.0, info.avg_compute_cycles / 10.0)
-                cpu.run([CpuTask(ops=self.ops_per_vertex * rounds,
-                                 random_accesses=1.0
-                                 + info.extra_global_reads_per_vertex,
-                                 count=produced)],
-                        name=f"ref_sample_{step}", parallel=False)
-            batch.append_step(new_vertices)
-            app.post_step(batch, new_vertices, step, ctx.post_step_rng(step))
-            step += 1
-            if m > 0 and not (new_vertices != NULL_VERTEX).any():
-                break
+            with trace.span("step", step=step, engine=self.engine_name):
+                transits = app.transits_for_step(batch, step)
+                sample_ids, cols, vals = flatten_transits(transits)
+                if vals.size == 0:
+                    break
+                m = app.sample_size(step)
+                if collective:
+                    with trace.span("collective_kernels", step=step):
+                        new_vertices, info, edges, neigh_sizes = \
+                            stepper.run_collective_step(
+                                app, graph, batch, transits, step, ctx,
+                                use_reference=self.use_reference)
+                    # The reference implementations materialise each
+                    # sample's combined neighborhood as Python/numpy
+                    # objects before selecting from it.
+                    cpu.run([CpuTask(ops=float(neigh_sizes.mean()) * 4.0,
+                                     sequential_bytes=float(
+                                         neigh_sizes.mean()) * 8,
+                                     random_accesses=float(
+                                         (transits != NULL_VERTEX)
+                                         .sum(axis=1).mean()),
+                                     count=batch.num_samples)],
+                            name=f"ref_neighborhood_{step}",
+                            parallel=False)
+                    produced = batch.num_samples * max(m, 1)
+                    cpu.run([CpuTask(ops=self.ops_per_vertex,
+                                     random_accesses=1.0,
+                                     count=produced)],
+                            name=f"ref_select_{step}", parallel=False)
+                    if edges is not None:
+                        batch.record_edges(edges)
+                        cpu.run([CpuTask(ops=6.0, random_accesses=0.5,
+                                         count=int(vals.size) * max(m, 1))],
+                                name=f"ref_edges_{step}", parallel=False)
+                else:
+                    with trace.span("individual_kernels", step=step):
+                        new_vertices, info = stepper.run_individual_step(
+                            app, graph, batch, transits, step, ctx,
+                            sample_ids, cols, vals,
+                            use_reference=self.use_reference)
+                    produced = int(vals.size) * max(m, 1)
+                    rounds = max(1.0, info.avg_compute_cycles / 10.0)
+                    cpu.run([CpuTask(ops=self.ops_per_vertex * rounds,
+                                     random_accesses=1.0
+                                     + info.extra_global_reads_per_vertex,
+                                     count=produced)],
+                            name=f"ref_sample_{step}", parallel=False)
+                with trace.span("post_step", step=step):
+                    batch.append_step(new_vertices)
+                    app.post_step(batch, new_vertices, step,
+                                  ctx.post_step_rng(step))
+                step += 1
+                if m > 0 and not (new_vertices != NULL_VERTEX).any():
+                    break
         return SamplingResult(
             app=app, graph_name=graph.name, batch=batch,
             seconds=cpu.elapsed_seconds,

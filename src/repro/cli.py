@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.bench.runner import (
 )
 from repro.core.engine import NextDoorEngine
 from repro.graph import datasets
+from repro.obs import format_stats, trace, write_chrome_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -51,6 +53,17 @@ ENGINES = {
     "gunrock": FrontierEngine,
     "tigr": MessagePassingEngine,
 }
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """Tracing/metrics flags shared by sample|compare|bench."""
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record wall-clock spans and write a Chrome "
+                        "trace_event JSON (open in chrome://tracing or "
+                        "Perfetto); $REPRO_TRACE=PATH does the same")
+    p.add_argument("--stats", action="store_true",
+                   help="print span aggregates + metric counters after "
+                        "the command")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,8 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sampling worker processes (default 0 = "
                         "in-process; $REPRO_WORKERS overrides the "
                         "default; samples are identical either way)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="RNG-plan chunk size in transit pairs (changes "
+                        "sampled values like a seed change; default "
+                        "4096)")
     p.add_argument("--out", default=None,
                    help="save samples to this .npz file")
+    _add_obs_flags(p)
 
     p = sub.add_parser("compare",
                        help="modeled speedups of NextDoor over baselines")
@@ -90,9 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="sampling worker processes for every engine "
                         "(default 0 = in-process)")
+    _add_obs_flags(p)
 
     p = sub.add_parser("bench", help="list the paper-experiment benchmarks")
     p.add_argument("--list", action="store_true", default=True)
+    _add_obs_flags(p)
 
     p = sub.add_parser("report",
                        help="paper-vs-measured summary from archived "
@@ -134,7 +154,8 @@ def _cmd_sample(args, out) -> int:
     num_samples = args.samples
     if num_samples is None:
         num_samples = walk_sample_count(graph, args.app)
-    engine = ENGINES[args.engine](workers=args.workers)
+    engine = ENGINES[args.engine](workers=args.workers,
+                                  chunk_size=args.chunk_size)
     kwargs = {"num_samples": num_samples, "seed": args.seed}
     if args.devices != 1:
         if not isinstance(engine, NextDoorEngine):
@@ -158,29 +179,49 @@ def _cmd_sample(args, out) -> int:
     return 0
 
 
+def _timed_run(engine, app, graph, ns: int, seed: int):
+    """Run ``engine`` under a traced span; returns (result, wall_s)."""
+    with trace.span("engine_run", engine=engine.engine_name,
+                    app=app.name):
+        t0 = time.perf_counter()
+        result = engine.run(app, graph, num_samples=ns, seed=seed)
+        wall = time.perf_counter() - t0
+    return result, wall
+
+
 def _cmd_compare(args, out) -> int:
     rows = []
+    wall_rows = []
     for app_name in args.apps:
         graph = paper_graph(args.graph, app_name, seed=args.seed)
         ns = walk_sample_count(graph, app_name)
-        nd = NextDoorEngine(workers=args.workers).run(
-            paper_app(app_name), graph, num_samples=ns, seed=args.seed)
+        nd, nd_wall = _timed_run(NextDoorEngine(workers=args.workers),
+                                 paper_app(app_name), graph, ns,
+                                 args.seed)
         row = [app_name, f"{nd.seconds * 1e3:.3f} ms"]
+        wall_row = [app_name, f"{nd_wall * 1e3:.1f} ms"]
         for key in ("sp", "tp", "knightking", "reference", "gunrock",
                     "tigr"):
             try:
-                r = ENGINES[key](workers=args.workers).run(
-                    paper_app(app_name), graph, num_samples=ns,
-                    seed=args.seed)
+                r, wall = _timed_run(ENGINES[key](workers=args.workers),
+                                     paper_app(app_name), graph, ns,
+                                     args.seed)
                 row.append(f"{r.seconds / nd.seconds:.1f}x")
+                wall_row.append(f"{wall * 1e3:.1f} ms")
             except ValueError:
                 row.append("n/a")
+                wall_row.append("n/a")
         rows.append(row)
-    print(format_table(
-        ["app", "NextDoor", "SP", "TP", "KnightKing", "GNN-sampler",
-         "Gunrock", "Tigr"], rows), file=out)
+        wall_rows.append(wall_row)
+    header = ["app", "NextDoor", "SP", "TP", "KnightKing", "GNN-sampler",
+              "Gunrock", "Tigr"]
+    print(format_table(header, rows), file=out)
     print("(columns right of NextDoor: how much slower than NextDoor)",
           file=out)
+    print("", file=out)
+    print("measured wall-clock per engine (host time of this "
+          "reproduction, not the modeled GPU/CPU):", file=out)
+    print(format_table(header, wall_rows), file=out)
     return 0
 
 
@@ -260,6 +301,10 @@ def _cmd_train(args, out) -> int:
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    want_stats = getattr(args, "stats", False)
+    if (trace_path or want_stats) and not trace.tracing_enabled():
+        trace.enable()
     handler = {
         "datasets": _cmd_datasets,
         "sample": _cmd_sample,
@@ -269,7 +314,15 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "report": _cmd_report,
         "train": _cmd_train,
     }[args.command]
-    return handler(args, out)
+    code = handler(args, out)
+    if trace_path:
+        write_chrome_trace(trace_path)
+        print(f"wrote trace to {trace_path} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)",
+              file=out)
+    if want_stats:
+        print(format_stats(), file=out)
+    return code
 
 
 if __name__ == "__main__":

@@ -48,6 +48,7 @@ from repro.gpu.device import Device
 from repro.gpu.metrics import DeviceMetrics
 from repro.gpu.multi_gpu import MultiGPU
 from repro.gpu.spec import GPUSpec, V100
+from repro.obs import get_metrics, trace
 from repro.runtime.context import ExecutionContext
 
 __all__ = ["NextDoorEngine", "SamplingResult", "do_sampling"]
@@ -156,22 +157,33 @@ class NextDoorEngine:
         """
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
-        ctx = ExecutionContext(seed, workers=self.workers,
-                               chunk_size=self.chunk_size)
-        batch = stepper.init_batch(app, graph, num_samples, roots,
-                                   ctx.init_rng())
-        ctx.begin_run(app, graph, use_reference=self.use_reference)
-        if num_devices == 1:
-            device = Device(self.spec)
-            steps_run = self._run_on_device(app, graph, batch, ctx, device)
-            return SamplingResult(
-                app=app, graph_name=graph.name, batch=batch,
-                seconds=device.elapsed_seconds,
-                breakdown=device.timeline.phase_breakdown(),
-                metrics=device.metrics, steps_run=steps_run,
-                engine=self.engine_name,
-                metrics_by_phase=device.metrics_by_phase)
-        return self._run_multi_gpu(app, graph, batch, ctx, num_devices)
+        with trace.span("run", engine=self.engine_name, app=app.name,
+                        graph=graph.name, devices=num_devices) as run_span:
+            ctx = ExecutionContext(seed, workers=self.workers,
+                                   chunk_size=self.chunk_size)
+            batch = stepper.init_batch(app, graph, num_samples, roots,
+                                       ctx.init_rng())
+            run_span.set(samples=batch.num_samples)
+            ctx.begin_run(app, graph, use_reference=self.use_reference)
+            if num_devices == 1:
+                device = Device(self.spec)
+                steps_run = self._run_on_device(app, graph, batch, ctx,
+                                                device)
+                result = SamplingResult(
+                    app=app, graph_name=graph.name, batch=batch,
+                    seconds=device.elapsed_seconds,
+                    breakdown=device.timeline.phase_breakdown(),
+                    metrics=device.metrics, steps_run=steps_run,
+                    engine=self.engine_name,
+                    metrics_by_phase=device.metrics_by_phase)
+            else:
+                result = self._run_multi_gpu(app, graph, batch, ctx,
+                                             num_devices)
+        reg = get_metrics()
+        reg.counter("engine.runs").inc()
+        reg.counter("engine.samples_produced").inc(result.batch.num_samples)
+        reg.counter("engine.steps_run").inc(result.steps_run)
+        return result
 
     # ------------------------------------------------------------------
 
@@ -191,10 +203,13 @@ class NextDoorEngine:
             # the merged result does not depend on execution order or
             # thread timing.
             shard_ctx = ctx.shard(d)
-            shard = SampleBatch(graph, shard_roots)
-            app.init_state(shard, shard_ctx.init_rng())
-            steps_run = self._run_on_device(app, graph, shard, shard_ctx,
-                                            pool.devices[d])
+            shard_ctx.tracer.name_thread(f"shard-{d}")
+            with shard_ctx.tracer.span("shard", shard=d,
+                                       samples=shard_roots.shape[0]):
+                shard = SampleBatch(graph, shard_roots)
+                app.init_state(shard, shard_ctx.init_rng())
+                steps_run = self._run_on_device(app, graph, shard,
+                                                shard_ctx, pool.devices[d])
             return shard, steps_run
 
         # Shards run concurrently: with pool workers the chunk streams
@@ -236,42 +251,57 @@ class NextDoorEngine:
         collective = app.sampling_type() is SamplingType.COLLECTIVE
         step = 0
         while step < limit:
-            transits = app.transits_for_step(batch, step)
-            tmap = build_transit_map(transits)
-            if tmap.num_pairs == 0:
-                break  # no live transits: every sample has terminated
-            self._pre_step(device, graph, tmap, step)
-            self._charge_index(device, tmap)
-            degrees = graph.degrees_array[tmap.unique_transits]
-            m = app.sample_size(step)
+            step_span = trace.span("step", step=step,
+                                   engine=self.engine_name)
+            with step_span:
+                transits = app.transits_for_step(batch, step)
+                with trace.span("scheduling_index", step=step) as idx_span:
+                    tmap = build_transit_map(transits)
+                    idx_span.set(pairs=tmap.num_pairs)
+                    if tmap.num_pairs:
+                        self._pre_step(device, graph, tmap, step)
+                        self._charge_index(device, tmap)
+                if tmap.num_pairs == 0:
+                    break  # no live transits: every sample terminated
+                degrees = graph.degrees_array[tmap.unique_transits]
+                m = app.sample_size(step)
 
-            if collective:
-                new_vertices, info, edges, _sizes = stepper.run_collective_step(
-                    app, graph, batch, transits, step, ctx,
-                    use_reference=self.use_reference)
-                self._charge_collective(device, tmap, degrees, m, info,
-                                        batch.num_samples,
-                                        has_edges=edges is not None)
-                if edges is not None:
-                    batch.record_edges(edges)
-            else:
-                new_vertices, info = stepper.run_individual_step(
-                    app, graph, batch, transits, step, ctx,
-                    tmap.sample_ids, tmap.cols, tmap.transit_vals,
-                    use_reference=self.use_reference)
-                self._charge_individual(device, tmap, degrees, m, info,
-                                        weighted=graph.is_weighted)
-                if app.unique(step) and new_vertices.shape[1] > 1:
-                    new_vertices = self._make_unique(
-                        app, graph, batch, transits, new_vertices, step,
-                        ctx.topup_rng(step), device)
+                if collective:
+                    with trace.span("collective_kernels", step=step):
+                        new_vertices, info, edges, _sizes = \
+                            stepper.run_collective_step(
+                                app, graph, batch, transits, step, ctx,
+                                use_reference=self.use_reference)
+                        self._charge_collective(
+                            device, tmap, degrees, m, info,
+                            batch.num_samples,
+                            has_edges=edges is not None)
+                        if edges is not None:
+                            batch.record_edges(edges)
+                else:
+                    with trace.span("individual_kernels", step=step):
+                        new_vertices, info = stepper.run_individual_step(
+                            app, graph, batch, transits, step, ctx,
+                            tmap.sample_ids, tmap.cols, tmap.transit_vals,
+                            use_reference=self.use_reference)
+                        self._charge_individual(device, tmap, degrees, m,
+                                                info,
+                                                weighted=graph.is_weighted)
+                    if app.unique(step) and new_vertices.shape[1] > 1:
+                        with trace.span("make_unique", step=step):
+                            new_vertices = self._make_unique(
+                                app, graph, batch, transits, new_vertices,
+                                step, ctx.topup_rng(step), device)
 
-            batch.append_step(new_vertices)
-            app.post_step(batch, new_vertices, step, ctx.post_step_rng(step))
-            step += 1
-            if m > 0 and not (new_vertices != NULL_VERTEX).any():
-                break  # nothing was added anywhere: all samples ended
-        self._charge_output_materialisation(device, app, batch, step)
+                with trace.span("post_step", step=step):
+                    batch.append_step(new_vertices)
+                    app.post_step(batch, new_vertices, step,
+                                  ctx.post_step_rng(step))
+                step += 1
+                if m > 0 and not (new_vertices != NULL_VERTEX).any():
+                    break  # nothing added anywhere: all samples ended
+        with trace.span("output_materialisation"):
+            self._charge_output_materialisation(device, app, batch, step)
         return step
 
     # ------------------------------------------------------------------

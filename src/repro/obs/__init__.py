@@ -1,0 +1,60 @@
+"""Observability: span tracing, metrics, and trace/stats export.
+
+The instrumentation substrate every perf PR reports against (see
+``docs/OBSERVABILITY.md``):
+
+- :mod:`repro.obs.tracer` (imported here as ``trace``) — process-global
+  span tracing, a no-op singleton unless enabled via ``trace.enable()``,
+  the ``--trace`` CLI flag, or ``$REPRO_TRACE``;
+- :mod:`repro.obs.metrics` — always-on counters/gauges/histograms;
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto) and flat JSON stats summaries.
+"""
+
+from repro.obs import tracer as trace
+from repro.obs.export import (
+    chrome_trace,
+    format_stats,
+    stats_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_stats,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+)
+from repro.obs.tracer import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "trace",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "span",
+    "get_tracer",
+    "tracing_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "stats_summary",
+    "write_stats",
+    "format_stats",
+    "validate_chrome_trace",
+]

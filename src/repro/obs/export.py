@@ -1,0 +1,193 @@
+"""Trace and stats exporters.
+
+:func:`chrome_trace` turns the active tracer's spans into the Chrome
+``trace_event`` JSON object format — loadable in ``chrome://tracing``
+and https://ui.perfetto.dev — with one ``tid`` row per lane (threads
+and ``worker-N`` lanes) and ``thread_name`` metadata so rows are
+labeled.  :func:`stats_summary` produces a flat JSON-serialisable
+summary: per-span-name aggregates plus the metrics registry snapshot.
+
+``validate_chrome_trace`` is the shape check the CI trace-smoke job and
+the unit tests share.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.obs import tracer as trace
+from repro.obs.metrics import get_metrics
+
+__all__ = ["chrome_trace", "write_chrome_trace", "stats_summary",
+           "write_stats", "format_stats", "validate_chrome_trace"]
+
+
+def _lane_rows(events, thread_names) -> Dict[Any, int]:
+    """Stable lane -> tid assignment: main thread first, then named
+    threads, then anonymous threads, then string lanes (workers)."""
+    lanes: List[Any] = []
+    seen = set()
+    for name, _t0, _t1, lane, _args in events:
+        if lane not in seen:
+            seen.add(lane)
+            lanes.append(lane)
+    ints = sorted((l for l in lanes if isinstance(l, int)),
+                  key=lambda l: (thread_names.get(l, "") != "main",
+                                 thread_names.get(l, f"thread-{l}")))
+    strs = sorted(l for l in lanes if isinstance(l, str))
+    return {lane: i for i, lane in enumerate(ints + strs)}
+
+
+def chrome_trace(tracer=None) -> Dict[str, Any]:
+    """The Chrome trace_event JSON object for ``tracer`` (default: the
+    active tracer)."""
+    tracer = tracer if tracer is not None else trace.get_tracer()
+    events = tracer.snapshot()
+    thread_names = tracer.thread_names()
+    rows = _lane_rows(events, thread_names)
+    pid = os.getpid()
+    out: List[Dict[str, Any]] = []
+    for lane, tid in rows.items():
+        if isinstance(lane, str):
+            label = lane
+        else:
+            label = thread_names.get(lane, f"thread-{tid}")
+        out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": tid, "args": {"name": label}})
+    origin = tracer.origin
+    for name, t0, t1, lane, args in events:
+        ev: Dict[str, Any] = {
+            "name": name,
+            "pid": pid,
+            "tid": rows[lane],
+            "ts": (t0 - origin) * 1e6,
+        }
+        if t1 is None:
+            ev["ph"] = "i"
+            ev["s"] = "t"
+        else:
+            ev["ph"] = "X"
+            ev["dur"] = max(0.0, (t1 - t0) * 1e6)
+        if args:
+            ev["args"] = {k: _jsonable(v) for k, v in args.items()}
+        out.append(ev)
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": "repro.obs", "pid": pid},
+    }
+
+
+def _jsonable(v):
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    try:
+        return v.item()  # numpy scalars
+    except AttributeError:
+        return str(v)
+
+
+def write_chrome_trace(path: str, tracer=None) -> str:
+    """Write the Chrome trace JSON to ``path``; returns ``path``."""
+    obj = chrome_trace(tracer)
+    with open(path, "w") as f:
+        json.dump(obj, f)
+        f.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+
+
+def stats_summary(tracer=None, registry=None) -> Dict[str, Any]:
+    """Flat stats: per-span-name wall-clock aggregates + metrics."""
+    tracer = tracer if tracer is not None else trace.get_tracer()
+    registry = registry if registry is not None else get_metrics()
+    spans: Dict[str, Dict[str, float]] = {}
+    for name, t0, t1, _lane, _args in tracer.snapshot():
+        if t1 is None:
+            continue
+        agg = spans.setdefault(name, {"count": 0, "total_s": 0.0,
+                                      "max_s": 0.0})
+        dur = t1 - t0
+        agg["count"] += 1
+        agg["total_s"] += dur
+        if dur > agg["max_s"]:
+            agg["max_s"] = dur
+    for agg in spans.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"]
+    return {"spans": dict(sorted(spans.items())),
+            "metrics": registry.snapshot()}
+
+
+def write_stats(path: str, tracer=None, registry=None) -> str:
+    with open(path, "w") as f:
+        json.dump(stats_summary(tracer, registry), f, indent=2,
+                  sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def format_stats(summary: Optional[Dict[str, Any]] = None) -> str:
+    """Human-readable rendering of :func:`stats_summary` for the CLI."""
+    summary = summary if summary is not None else stats_summary()
+    lines: List[str] = []
+    if summary["spans"]:
+        lines.append("spans (wall-clock):")
+        width = max(len(n) for n in summary["spans"])
+        for name, agg in summary["spans"].items():
+            lines.append(
+                f"  {name:<{width}s}  x{agg['count']:<6d} "
+                f"total {agg['total_s'] * 1e3:10.3f} ms   "
+                f"mean {agg['mean_s'] * 1e3:9.3f} ms   "
+                f"max {agg['max_s'] * 1e3:9.3f} ms")
+    if summary["metrics"]:
+        lines.append("metrics:")
+        width = max(len(n) for n in summary["metrics"])
+        for name, value in summary["metrics"].items():
+            if isinstance(value, dict):
+                value = (f"count={value['count']} "
+                         f"mean={value['mean']:.6f} "
+                         f"max={value['max']:.6f}")
+            lines.append(f"  {name:<{width}s}  {value}")
+    if not lines:
+        lines.append("no spans or metrics recorded "
+                     "(enable tracing with --trace or $REPRO_TRACE)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+
+
+def validate_chrome_trace(obj: Any) -> None:
+    """Raise ``ValueError`` unless ``obj`` is a well-formed Chrome
+    trace_event JSON object (the shape Perfetto loads)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        raise ValueError("trace must be a JSON object")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace is missing the traceEvents array")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "B", "E"):
+            problems.append(f"event {i} has unsupported ph {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i} ({ph}) missing {key!r}")
+        if ph in ("X", "i", "B", "E") and not isinstance(
+                ev.get("ts"), (int, float)):
+            problems.append(f"event {i} ({ph}) has non-numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i} has bad dur {dur!r}")
+    if problems:
+        raise ValueError("invalid Chrome trace: "
+                         + "; ".join(problems[:10]))

@@ -1,0 +1,162 @@
+"""Process-global registry of counters, gauges, and histograms.
+
+Unlike spans (which are recorded only when tracing is enabled), metrics
+are always on: every update is one lock acquire plus arithmetic, cheap
+enough for the per-step / per-chunk granularity the runtime uses.  The
+registry powers the ``--stats`` CLI flag and the flat JSON stats export
+(:func:`repro.obs.export.stats_summary`).
+
+Standard instrument names (see ``docs/OBSERVABILITY.md``):
+
+==============================  ========== =============================
+name                            kind        meaning
+==============================  ========== =============================
+``engine.runs``                 counter     engine ``run()`` calls
+``engine.samples_produced``     counter     samples in finished batches
+``engine.steps_run``            counter     sampling steps executed
+``runtime.chunks_inprocess``    counter     chunks run in the parent
+``runtime.chunks_pooled``       counter     chunks run on pool workers
+``rng.chunk_streams``           counter     chunk generators derived
+``pool.chunks_dispatched``      counter     chunk messages sent to pipes
+``pool.worker_crashes``         counter     :class:`WorkerCrash` events
+``pool.queue_depth``            gauge       undispatched chunks (last)
+``pool.chunk_seconds``          histogram   worker-side chunk latency
+``shm.bytes_mapped``            counter     shared-memory bytes exported
+==============================  ========== =============================
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "get_metrics", "reset_metrics"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """Last-written value (e.g. an instantaneous queue depth)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self.value = float(v)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    __slots__ = ("_lock", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0}
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean, "min": self.min, "max": self.max}
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors.
+
+    Asking for an existing name with a different kind raises
+    ``TypeError`` — instrument kinds are part of the metric's contract.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, cls) -> Instrument:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls()
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(inst).__name__}, "
+                    f"not a {cls.__name__}")
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat ``{name: value}`` dict (histograms expand to a summary
+        sub-dict); JSON-serialisable."""
+        with self._lock:
+            items = list(self._instruments.items())
+        out: Dict[str, Any] = {}
+        for name, inst in sorted(items):
+            if isinstance(inst, Histogram):
+                out[name] = inst.as_dict()
+            else:
+                out[name] = inst.value
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def reset_metrics() -> None:
+    """Clear every instrument (tests and fresh benchmark sections)."""
+    _REGISTRY.reset()

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.api.app import SamplingApp
 from repro.api.types import NULL_VERTEX, StepInfo
+from repro.obs import get_metrics, trace
 from repro.runtime.pool import WorkerCrash, get_pool, retire_pool
 from repro.runtime.rngplan import AUX_POST, AUX_TOPUP, RNGPlan
 from repro.runtime.worker import exec_collective_chunk, exec_individual_chunk
@@ -143,6 +144,11 @@ class ExecutionContext:
         self.plan = plan
         self.pool = None
         self._pool_failed = False
+        #: The run's tracer — the process-global tracer captured at
+        #: construction and plumbed into every shard context, so shard
+        #: threads and worker-chunk lanes land in one trace.
+        self.tracer = trace.get_tracer()
+        self.metrics = get_metrics()
 
     # -- RNG plan pass-throughs ---------------------------------------
 
@@ -162,6 +168,8 @@ class ExecutionContext:
                                plan=self.plan.shard(shard_index))
         ctx.pool = self.pool
         ctx._pool_failed = self._pool_failed
+        ctx.tracer = self.tracer
+        ctx.metrics = self.metrics
         return ctx
 
     # -- pool lifecycle ------------------------------------------------
@@ -229,34 +237,45 @@ class ExecutionContext:
         nchunks = bounds.size - 1
         if nchunks <= 0:
             return out, StepInfo()
+        self.metrics.counter("rng.chunk_streams").inc(nchunks)
 
         dispatch = (
             self.pool is not None and nchunks > 1 and not use_reference
             and type(app).sample_neighbors
             is not SamplingApp.sample_neighbors)
         results: Dict[int, tuple] = {}
-        if dispatch:
-            jobs = []
+        sampling_span = self.tracer.span(
+            "sampling.individual", step=step,
+            pairs=int(transit_vals.size), chunks=nchunks,
+            dispatched=bool(dispatch))
+        with sampling_span:
+            if dispatch:
+                jobs = []
+                for c in range(nchunks):
+                    lo, hi = int(bounds[c]), int(bounds[c + 1])
+                    roots_rows = batch.roots[sample_ids[lo:hi]]
+                    jobs.append((c, ("ichunk", c, step,
+                                     self.plan.chunk_key(step, c),
+                                     transit_vals[lo:hi],
+                                     None if prev is None else prev[lo:hi],
+                                     roots_rows)))
+                results = self._dispatch(jobs)
+                self._record_pooled_chunks(results, step)
             for c in range(nchunks):
+                if c in results:
+                    continue
                 lo, hi = int(bounds[c]), int(bounds[c + 1])
-                roots_rows = batch.roots[sample_ids[lo:hi]]
-                jobs.append((c, ("ichunk", c, step,
-                                 self.plan.chunk_key(step, c),
-                                 transit_vals[lo:hi],
-                                 None if prev is None else prev[lo:hi],
-                                 roots_rows)))
-            results = self._dispatch(jobs)
-        for c in range(nchunks):
-            if c in results:
-                continue
-            lo, hi = int(bounds[c]), int(bounds[c + 1])
-            sampled, info = exec_individual_chunk(
-                app, graph, transit_vals[lo:hi], step,
-                self.plan.chunk_rng(step, c),
-                prev_transits=None if prev is None else prev[lo:hi],
-                batch=batch, sample_ids=sample_ids[lo:hi],
-                use_reference=use_reference)
-            results[c] = (sampled, info)
+                with self.tracer.span("chunk", step=step, chunk=c,
+                                      pairs=hi - lo):
+                    sampled, info = exec_individual_chunk(
+                        app, graph, transit_vals[lo:hi], step,
+                        self.plan.chunk_rng(step, c),
+                        prev_transits=None if prev is None
+                        else prev[lo:hi],
+                        batch=batch, sample_ids=sample_ids[lo:hi],
+                        use_reference=use_reference)
+                results[c] = (sampled, info)
+                self.metrics.counter("runtime.chunks_inprocess").inc()
 
         sampled_all = (results[0][0] if nchunks == 1 else
                        np.concatenate([results[c][0]
@@ -304,6 +323,7 @@ class ExecutionContext:
             empty = np.full((batch.num_samples, 0), NULL_VERTEX,
                             dtype=np.int64)
             return empty, StepInfo(), None, np.diff(offsets)
+        self.metrics.counter("rng.chunk_streams").inc(nchunks)
 
         dispatch = (
             self.pool is not None and nchunks > 1 and not use_reference
@@ -311,29 +331,37 @@ class ExecutionContext:
             and type(app).sample_from_neighborhood
             is not SamplingApp.sample_from_neighborhood)
         results: Dict[int, tuple] = {}
-        if dispatch:
-            jobs = []
+        sampling_span = self.tracer.span(
+            "sampling.collective", step=step, rows=num_rows,
+            chunks=nchunks, dispatched=bool(dispatch))
+        with sampling_span:
+            if dispatch:
+                jobs = []
+                for c in range(nchunks):
+                    lo, hi = int(bounds[c]), int(bounds[c + 1])
+                    offs = offsets[lo:hi + 1] - offsets[lo]
+                    jobs.append((c, ("cchunk", c, step,
+                                     self.plan.chunk_key(step, c),
+                                     None, offs,
+                                     np.asarray(transits)[lo:hi])))
+                results = self._dispatch(jobs)
+                self._record_pooled_chunks(results, step)
             for c in range(nchunks):
+                if c in results:
+                    continue
                 lo, hi = int(bounds[c]), int(bounds[c + 1])
-                offs = offsets[lo:hi + 1] - offsets[lo]
-                jobs.append((c, ("cchunk", c, step,
-                                 self.plan.chunk_key(step, c),
-                                 None, offs,
-                                 np.asarray(transits)[lo:hi])))
-            results = self._dispatch(jobs)
-        for c in range(nchunks):
-            if c in results:
-                continue
-            lo, hi = int(bounds[c]), int(bounds[c + 1])
-            vals_chunk = (None if values is None
-                          else values[offsets[lo]:offsets[hi]])
-            vertices, info = exec_collective_chunk(
-                app, graph, _BatchRows(batch, lo, hi), vals_chunk,
-                offsets[lo:hi + 1] - offsets[lo],
-                np.asarray(transits)[lo:hi], step,
-                self.plan.chunk_rng(step, c),
-                use_reference=use_reference)
-            results[c] = (vertices, info)
+                vals_chunk = (None if values is None
+                              else values[offsets[lo]:offsets[hi]])
+                with self.tracer.span("chunk", step=step, chunk=c,
+                                      rows=hi - lo):
+                    vertices, info = exec_collective_chunk(
+                        app, graph, _BatchRows(batch, lo, hi), vals_chunk,
+                        offsets[lo:hi + 1] - offsets[lo],
+                        np.asarray(transits)[lo:hi], step,
+                        self.plan.chunk_rng(step, c),
+                        use_reference=use_reference)
+                results[c] = (vertices, info)
+                self.metrics.counter("runtime.chunks_inprocess").inc()
 
         new_vertices = (results[0][0] if nchunks == 1 else
                         np.concatenate([results[c][0]
@@ -355,3 +383,21 @@ class ExecutionContext:
                 f"worker pool crashed mid-step ({exc}); re-running "
                 f"{len(jobs) - len(partial)} chunks in-process and ")
             return partial
+
+    def _record_pooled_chunks(self, results: Dict[int, tuple],
+                              step: int) -> None:
+        """Turn the ``(worker, t_start, t_end)`` timings shipped back
+        with each pooled chunk into per-worker trace lanes + latency
+        metrics.  Timestamps are worker-side ``time.monotonic()``
+        values, comparable with the parent's clock on the platforms we
+        support."""
+        chunk_seconds = self.metrics.histogram("pool.chunk_seconds")
+        pooled = self.metrics.counter("runtime.chunks_pooled")
+        for chunk_id, payload in results.items():
+            pooled.inc()
+            if len(payload) < 3 or payload[2] is None:
+                continue
+            w, t0, t1 = payload[2]
+            chunk_seconds.observe(t1 - t0)
+            self.tracer.add_span("chunk", t0, t1, lane=f"worker-{w}",
+                                 step=step, chunk=chunk_id)

@@ -33,6 +33,8 @@ import time
 from multiprocessing.connection import wait as conn_wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import get_metrics
+
 __all__ = ["WorkerPool", "WorkerCrash", "ChunkError", "get_pool",
            "shutdown_pools"]
 
@@ -47,11 +49,32 @@ PROGRESS_TIMEOUT_S = 120.0
 
 class WorkerCrash(RuntimeError):
     """A worker died (or wedged) mid-step.  ``results`` holds the
-    chunk results collected before the crash, keyed by chunk id."""
+    chunk results collected before the crash, keyed by chunk id;
+    ``worker_index`` / ``chunk_ids`` / ``elapsed`` identify the failing
+    worker, the chunks it took down, and how long the oldest of those
+    chunks had been in flight.  Every construction is recorded in the
+    ``pool.worker_crashes`` metric."""
 
-    def __init__(self, message: str, results: Dict[int, tuple]) -> None:
+    def __init__(self, message: str, results: Dict[int, tuple],
+                 worker_index: Optional[int] = None,
+                 chunk_ids: Sequence[int] = (),
+                 elapsed: Optional[float] = None) -> None:
+        chunk_ids = tuple(chunk_ids)
+        detail = []
+        if worker_index is not None:
+            detail.append(f"worker {worker_index}")
+        if chunk_ids:
+            detail.append(f"chunk(s) {list(chunk_ids)} in flight")
+        if elapsed is not None:
+            detail.append(f"oldest in flight {elapsed:.2f}s")
+        if detail:
+            message = f"{message} [{', '.join(detail)}]"
         super().__init__(message)
         self.results = results
+        self.worker_index = worker_index
+        self.chunk_ids = chunk_ids
+        self.elapsed = elapsed
+        get_metrics().counter("pool.worker_crashes").inc()
 
 
 class ChunkError(RuntimeError):
@@ -126,53 +149,82 @@ class WorkerPool:
             return self._run_chunks_locked(jobs)
 
     def _run_chunks_locked(self, jobs) -> Dict[int, tuple]:
+        metrics = get_metrics()
+        dispatched = metrics.counter("pool.chunks_dispatched")
+        queue_depth = metrics.gauge("pool.queue_depth")
         results: Dict[int, tuple] = {}
         pending = list(jobs)[::-1]  # pop() from the front of the list
-        inflight = {w: 0 for w in range(self.num_workers)}
+        # Per worker: chunk id -> dispatch timestamp, so a crash can
+        # name the chunks it took down and their time in flight.
+        inflight: Dict[int, Dict[int, float]] = {
+            w: {} for w in range(self.num_workers)}
         outstanding = 0
         conn_of = {id(c): w for w, c in enumerate(self.conns)}
+
+        def in_flight_of(w: int) -> Tuple[List[int], Optional[float]]:
+            ids = sorted(inflight[w])
+            if not ids:
+                return ids, None
+            oldest = time.monotonic() - min(inflight[w].values())
+            return ids, oldest
 
         def fill() -> None:
             nonlocal outstanding
             for w, conn in enumerate(self.conns):
-                while pending and inflight[w] < MAX_INFLIGHT:
+                while pending and len(inflight[w]) < MAX_INFLIGHT:
                     chunk_id, message = pending.pop()
                     try:
                         conn.send(message)
                     except (OSError, BrokenPipeError) as exc:
+                        ids, oldest = in_flight_of(w)
                         raise WorkerCrash(
-                            f"worker {w} pipe closed during dispatch: "
-                            f"{exc!r}", results) from exc
-                    inflight[w] += 1
+                            f"worker {w} pipe closed during dispatch of "
+                            f"chunk {chunk_id}: {exc!r}", results,
+                            worker_index=w, chunk_ids=ids + [chunk_id],
+                            elapsed=oldest) from exc
+                    inflight[w][chunk_id] = time.monotonic()
+                    dispatched.inc()
                     outstanding += 1
+            queue_depth.set(len(pending))
 
         fill()
         while outstanding:
             ready = conn_wait(self.conns, timeout=PROGRESS_TIMEOUT_S)
             if not ready:
+                stuck = [(w, *in_flight_of(w))
+                         for w in range(self.num_workers) if inflight[w]]
+                detail = "; ".join(
+                    f"worker {w}: chunks {ids} for {oldest:.1f}s"
+                    for w, ids, oldest in stuck)
                 raise WorkerCrash(
                     f"pool made no progress for {PROGRESS_TIMEOUT_S:.0f}s "
-                    f"({outstanding} chunks outstanding)", results)
+                    f"({outstanding} chunks outstanding: {detail})",
+                    results,
+                    chunk_ids=[i for w, ids, _ in stuck for i in ids])
             for conn in ready:
                 w = conn_of[id(conn)]
                 try:
                     reply = conn.recv()
                 except (EOFError, OSError) as exc:
+                    ids, oldest = in_flight_of(w)
                     raise WorkerCrash(
                         f"worker {w} died ({outstanding} chunks "
-                        "outstanding)", results) from exc
+                        "outstanding)", results, worker_index=w,
+                        chunk_ids=ids, elapsed=oldest) from exc
                 kind = reply[0]
                 if kind == "ok":
                     results[reply[1]] = reply[2:]
-                    inflight[w] -= 1
+                    inflight[w].pop(reply[1], None)
                     outstanding -= 1
                 elif kind == "err":
                     raise ChunkError(
                         f"chunk {reply[1]} failed on worker {w}:\n"
                         f"{reply[2]}")
                 else:  # pragma: no cover - protocol error
+                    ids, oldest = in_flight_of(w)
                     raise WorkerCrash(
-                        f"worker {w} sent unexpected {kind!r}", results)
+                        f"worker {w} sent unexpected {kind!r}", results,
+                        worker_index=w, chunk_ids=ids, elapsed=oldest)
             fill()
         return results
 

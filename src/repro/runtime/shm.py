@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs import get_metrics
 
 __all__ = ["SharedGraphHandle", "export_graph", "import_graph",
            "release_graph", "release_all", "SEGMENT_PREFIX"]
@@ -109,6 +110,8 @@ def export_graph(graph: CSRGraph) -> SharedGraphHandle:
                                arrays=arrays)
     _OWNED[key] = segments
     graph._shared_handle = handle
+    get_metrics().counter("shm.bytes_mapped").inc(
+        sum(shm.size for shm in segments))
     return handle
 
 

@@ -19,14 +19,20 @@ parent -> worker          worker -> parent
 =======================  ============================================
 ("run", blob, handle,     ("ready",) | ("err", None, traceback)
  seed, use_ref)
-("ichunk", id, step,      ("ok", id, sampled, info) |
+("ichunk", id, step,      ("ok", id, sampled, info, timing) |
  key, vals, prev, roots)  ("err", id, traceback)
-("cchunk", id, step,      ("ok", id, vertices, info) |
+("cchunk", id, step,      ("ok", id, vertices, info, timing) |
  key, vals, offs, rows)   ("err", id, traceback)
 ("ping",)                 ("pong",)
 ("crash",)                *process exits hard (tests only)*
 ("stop",)                 *process exits cleanly*
 =======================  ============================================
+
+``timing`` is ``(worker_index, t_start, t_end)`` from the worker's
+``time.monotonic()`` clock — measured unconditionally (two clock reads
+per chunk) so the parent can nest per-worker chunk lanes under the run
+trace whenever tracing is enabled, and feed the ``pool.chunk_seconds``
+latency histogram either way.
 
 Application hooks dispatched to workers may read
 ``batch.roots[sample_ids]`` and ``batch.num_samples`` (served by
@@ -42,6 +48,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import traceback
 from typing import Optional, Tuple
 
@@ -141,6 +148,7 @@ def worker_main(conn, worker_index: int) -> None:
                 conn.send(("ready",))
             elif kind == "ichunk":
                 _, chunk_id, step, key, vals, prev, roots_rows = msg
+                t0 = time.monotonic()
                 rng = generator_for(seed, key)
                 stub = StubBatch(roots_rows, 0 if roots_rows is None
                                  else roots_rows.shape[0])
@@ -149,15 +157,18 @@ def worker_main(conn, worker_index: int) -> None:
                     batch=stub,
                     sample_ids=np.arange(np.asarray(vals).size),
                     use_reference=use_reference)
-                conn.send(("ok", chunk_id, sampled, info))
+                conn.send(("ok", chunk_id, sampled, info,
+                           (worker_index, t0, time.monotonic())))
             elif kind == "cchunk":
                 _, chunk_id, step, key, vals, offs, transits = msg
+                t0 = time.monotonic()
                 rng = generator_for(seed, key)
                 stub = StubBatch(None, transits.shape[0])
                 vertices, info = exec_collective_chunk(
                     app, graph, stub, vals, offs, transits, step, rng,
                     use_reference=use_reference)
-                conn.send(("ok", chunk_id, vertices, info))
+                conn.send(("ok", chunk_id, vertices, info,
+                           (worker_index, t0, time.monotonic())))
             else:
                 conn.send(("err", None,
                            f"unknown message kind {kind!r}"))

@@ -40,14 +40,51 @@ class TestKernelCounters:
         assert a.global_load_transactions == 5
         assert a.compute_cycles == 6
 
+    def test_add_covers_every_field(self):
+        a = KernelCounters(**{f: 1.0
+                              for f in KernelCounters.__dataclass_fields__})
+        a.add(KernelCounters(**{f: 2.0
+                                for f in KernelCounters.__dataclass_fields__}))
+        for f in KernelCounters.__dataclass_fields__:
+            assert getattr(a, f) == 3.0, f
+
+    def test_add_does_not_mutate_other(self):
+        a = KernelCounters(branches=1.0)
+        b = KernelCounters(branches=2.0)
+        a.add(b)
+        assert b.branches == 2.0
+
     def test_scaled(self):
         c = KernelCounters(global_load_transactions=3).scaled(4)
         assert c.global_load_transactions == 12
+
+    def test_scaled_covers_every_field_and_preserves_original(self):
+        src = KernelCounters(**{f: 2.0
+                                for f in KernelCounters.__dataclass_fields__})
+        out = src.scaled(0.5)
+        for f in KernelCounters.__dataclass_fields__:
+            assert getattr(out, f) == 1.0, f
+            assert getattr(src, f) == 2.0, f
+
+    def test_scaled_preserves_ratios(self):
+        # Derived properties are ratios, so uniform scaling must not
+        # change them — this is what makes per-warp -> per-group valid.
+        c = KernelCounters(global_store_transactions=32,
+                           ideal_global_store_transactions=8,
+                           branches=10, divergent_branches=3)
+        s = c.scaled(7.0)
+        assert s.store_efficiency == pytest.approx(c.store_efficiency)
+        assert s.divergence_rate == pytest.approx(c.divergence_rate)
 
     def test_as_dict_includes_derived(self):
         d = KernelCounters(global_load_transactions=2).as_dict()
         assert d["l2_read_transactions"] == 2
         assert "store_efficiency" in d
+
+    def test_as_dict_includes_every_raw_field(self):
+        d = KernelCounters().as_dict()
+        for f in KernelCounters.__dataclass_fields__:
+            assert f in d
 
 
 class TestDeviceMetrics:
@@ -77,6 +114,37 @@ class TestDeviceMetrics:
         assert a.counters.global_load_transactions == 3
         assert a.sm_total_cycles == 4.0
 
+    def test_merge_identity(self):
+        a = DeviceMetrics()
+        a.record_kernel(KernelCounters(branches=4, divergent_branches=1),
+                        busy_cycles=3.0, wall_cycles=2.0, num_sms=4)
+        before = a.as_dict()
+        a.merge(DeviceMetrics())
+        assert a.as_dict() == before
+
+    def test_activity_capped_at_one(self):
+        m = DeviceMetrics()
+        m.record_kernel(KernelCounters(), busy_cycles=1000.0,
+                        wall_cycles=10.0, num_sms=80)
+        assert m.multiprocessor_activity == 1.0
+
+    def test_record_kernel_accumulates_counters(self):
+        m = DeviceMetrics()
+        for _ in range(3):
+            m.record_kernel(KernelCounters(global_load_transactions=2.0),
+                            busy_cycles=1.0, wall_cycles=1.0, num_sms=1)
+        assert m.counters.l2_read_transactions == 6.0
+        assert m.sm_busy_cycles == 3.0
+        assert m.sm_total_cycles == 3.0
+
     def test_as_dict(self):
         d = DeviceMetrics().as_dict()
         assert "multiprocessor_activity" in d
+
+    def test_as_dict_combines_counter_and_device_views(self):
+        m = DeviceMetrics()
+        m.record_kernel(KernelCounters(global_load_transactions=5.0),
+                        busy_cycles=4.0, wall_cycles=1.0, num_sms=8)
+        d = m.as_dict()
+        assert d["l2_read_transactions"] == 5.0
+        assert d["multiprocessor_activity"] == pytest.approx(0.5)
