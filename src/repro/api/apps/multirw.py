@@ -30,6 +30,8 @@ class MultiRW(SamplingApp):
     def __init__(self, num_roots: int = 100, walk_length: int = 100) -> None:
         if num_roots < 1:
             raise ValueError("num_roots must be >= 1")
+        if walk_length < 1:
+            raise ValueError("walk_length must be >= 1")
         self.num_roots = num_roots
         self.walk_length = walk_length
 

@@ -47,6 +47,8 @@ class Node2Vec(SamplingApp):
                  walk_length: int = 100) -> None:
         if p <= 0 or q <= 0:
             raise ValueError("p and q must be positive")
+        if walk_length < 1:
+            raise ValueError("walk_length must be >= 1")
         self.p = p
         self.q = q
         self.walk_length = walk_length

@@ -31,6 +31,8 @@ class PPR(SamplingApp):
                  max_steps: int = 1000) -> None:
         if not 0.0 < termination_prob <= 1.0:
             raise ValueError("termination_prob must be in (0, 1]")
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
         self.termination_prob = termination_prob
         self._max_steps = max_steps
 

@@ -57,7 +57,8 @@ def validate_app(app: SamplingApp, graph: CSRGraph,
     _check(isinstance(k, (int, np.integer)),
            f"steps() must return an int, got {type(k).__name__}")
     _check(k == INF_STEPS or k >= 1,
-           f"steps() must be >= 1 or INF_STEPS, got {k}")
+           f"steps() must be >= 1 or INF_STEPS, got {k}: an application "
+           "with no steps samples nothing")
     did("steps() declaration")
 
     kind = app.sampling_type()
@@ -70,6 +71,13 @@ def validate_app(app: SamplingApp, graph: CSRGraph,
         m = app.sample_size(step)
         _check(isinstance(m, (int, np.integer)) and m >= 0,
                f"sample_size({step}) must be a non-negative int, got {m!r}")
+        if kind is SamplingType.INDIVIDUAL:
+            # A record-only (m = 0) step is a collective notion
+            # (ClusterGCN); an individual step that samples nothing
+            # produces an empty step array and a dead run.
+            _check(m >= 1,
+                   f"sample_size({step}) must be >= 1 for individual "
+                   f"transit sampling, got {m}")
         _check(isinstance(app.unique(step), (bool, np.bool_)),
                f"unique({step}) must return a bool")
     did("sample_size()/unique() per step")

@@ -26,6 +26,7 @@ from repro.api.types import NULL_VERTEX, SamplingType
 from repro.core import stepper
 from repro.core.engine import SamplingResult
 from repro.core.transit_map import flatten_transits
+from repro.core.unique import dedupe_and_topup
 from repro.gpu.cpu_model import CpuDevice, CpuTask
 from repro.gpu.spec import CPUSpec, XEON_SILVER_4216
 from repro.obs import get_metrics, trace
@@ -127,6 +128,16 @@ class ReferenceSamplerEngine:
                                      + info.extra_global_reads_per_vertex,
                                      count=produced)],
                             name=f"ref_sample_{step}", parallel=False)
+                    if app.unique(step) and new_vertices.shape[1] > 1:
+                        # The reference samplers dedup with a
+                        # per-sample Python set as they append.
+                        new_vertices, _, _ = dedupe_and_topup(
+                            app, graph, transits, new_vertices, step,
+                            ctx.topup_rng(step))
+                        cpu.run([CpuTask(ops=12.0, random_accesses=1.0,
+                                         count=int(new_vertices.size))],
+                                name=f"ref_unique_{step}",
+                                parallel=False)
                 with trace.span("post_step", step=step):
                     batch.append_step(new_vertices)
                     app.post_step(batch, new_vertices, step,

@@ -27,6 +27,7 @@ from repro.api.types import NULL_VERTEX, SamplingType
 from repro.core import stepper
 from repro.core.engine import SamplingResult
 from repro.core.transit_map import flatten_transits
+from repro.core.unique import dedupe_and_topup
 from repro.gpu.cpu_model import CpuDevice, CpuTask
 from repro.gpu.spec import CPUSpec, XEON_SILVER_4216
 from repro.obs import get_metrics, trace
@@ -118,6 +119,15 @@ class KnightKingEngine:
         # BSP super-step barrier across the worker threads (~1us).
         cpu.run([CpuTask(ops=self.spec.clock_ghz * 1e3, count=1)],
                 name=f"barrier_{step}", parallel=False)
+        if app.unique(step) and new_vertices.shape[1] > 1:
+            # Walker rows wider than one (multi-root walks) dedup in
+            # the per-walker state dict.
+            new_vertices, _, _ = dedupe_and_topup(
+                app, graph, transits, new_vertices, step,
+                ctx.topup_rng(step))
+            cpu.run([CpuTask(ops=12.0, random_accesses=1.0,
+                             count=int(new_vertices.size))],
+                    name=f"walker_unique_{step}", parallel=False)
         with trace.span("post_step", step=step):
             batch.append_step(new_vertices)
             app.post_step(batch, new_vertices, step,

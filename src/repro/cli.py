@@ -16,6 +16,7 @@ prints can be computed programmatically from :mod:`repro`.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -41,6 +42,7 @@ from repro.bench.runner import (
 from repro.core.engine import NextDoorEngine
 from repro.graph import datasets
 from repro.obs import format_stats, trace, write_chrome_trace
+from repro.verify import runner as verify_runner
 
 __all__ = ["main", "build_parser"]
 
@@ -78,7 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sample", help="run one sampling application")
     p.add_argument("--app", required=True, choices=sorted(APP_FACTORIES))
     p.add_argument("--graph", default="ppi",
-                   choices=sorted(datasets.SPECS))
+                   help="dataset name (see `repro datasets`) or a path "
+                        "to an edge-list / .npz graph file")
     p.add_argument("--engine", default="nextdoor",
                    choices=sorted(ENGINES))
     p.add_argument("--samples", type=int, default=None,
@@ -126,6 +129,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="output dir (default: benchmarks/figures)")
 
+    p = sub.add_parser("verify",
+                       help="run the verification suites (statistical, "
+                            "differential, golden, fuzz)")
+    p.add_argument("--suite", default="all",
+                   choices=["all", *verify_runner.SUITE_NAMES],
+                   help="which suite to run (default: all)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="sampling worker processes (default 0 = "
+                        "in-process; samples are identical either way)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep seed for the diff/fuzz suites (stat and "
+                        "golden checks pin their own seeds)")
+    p.add_argument("--regen", action="store_true",
+                   help="regenerate the golden fixtures from the "
+                        "current implementation instead of checking "
+                        "them (use with --suite golden)")
+
     p = sub.add_parser("train", help="train the demo GNN on sampled batches")
     p.add_argument("--graph", default="ppi", choices=sorted(datasets.SPECS))
     p.add_argument("--epochs", type=int, default=3)
@@ -148,9 +168,58 @@ def _cmd_datasets(args, out) -> int:
     return 0
 
 
+def _workers_error(workers: Optional[int]) -> Optional[str]:
+    """Readable message for an invalid --workers value, else None."""
+    if workers is not None and workers < 0:
+        return (f"--workers must be >= 0, got {workers} "
+                "(0 = in-process, N = worker pool)")
+    return None
+
+
+def _resolve_graph(args, out):
+    """A dataset stand-in by name, or a graph loaded from a file path.
+
+    Prints a readable error and returns None when neither resolves.
+    """
+    name = args.graph
+    if name in datasets.SPECS:
+        return paper_graph(name, args.app, seed=args.seed)
+    looks_like_path = os.sep in name or name.endswith(
+        (".txt", ".el", ".edges", ".npz"))
+    if os.path.exists(name):
+        from repro.graph import io as graph_io
+        try:
+            if name.endswith(".npz"):
+                return graph_io.load_npz(name)
+            return graph_io.load_edge_list(name)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: could not load graph file {name}: {exc}",
+                  file=out)
+            return None
+    if looks_like_path:
+        print(f"error: graph file not found: {name}", file=out)
+        return None
+    print(f"error: unknown graph {name!r} — pick a dataset "
+          f"({', '.join(sorted(datasets.SPECS))}) or pass an "
+          "edge-list/.npz path", file=out)
+    return None
+
+
 def _cmd_sample(args, out) -> int:
+    err = _workers_error(args.workers)
+    if err:
+        print(f"error: {err}", file=out)
+        return 2
+    if args.trace and args.out and \
+            os.path.abspath(args.trace) == os.path.abspath(args.out):
+        print(f"error: --trace and --out point at the same file "
+              f"({args.out}); the trace would overwrite the samples",
+              file=out)
+        return 2
     app = paper_app(args.app)
-    graph = paper_graph(args.graph, args.app, seed=args.seed)
+    graph = _resolve_graph(args, out)
+    if graph is None:
+        return 2
     num_samples = args.samples
     if num_samples is None:
         num_samples = walk_sample_count(graph, args.app)
@@ -190,6 +259,10 @@ def _timed_run(engine, app, graph, ns: int, seed: int):
 
 
 def _cmd_compare(args, out) -> int:
+    err = _workers_error(args.workers)
+    if err:
+        print(f"error: {err}", file=out)
+        return 2
     rows = []
     wall_rows = []
     for app_name in args.apps:
@@ -284,6 +357,27 @@ def _cmd_figures(args, out) -> int:
     return 0
 
 
+def _cmd_verify(args, out) -> int:
+    err = _workers_error(args.workers)
+    if err:
+        print(f"error: {err}", file=out)
+        return 2
+    if args.regen:
+        if args.suite not in ("golden", "all"):
+            print("error: --regen regenerates golden fixtures; use it "
+                  "with --suite golden", file=out)
+            return 2
+        from repro.verify.golden import regenerate_golden
+        for path in regenerate_golden(workers=args.workers):
+            print(f"wrote {path}", file=out)
+        return 0
+    names = None if args.suite == "all" else [args.suite]
+    results, ok = verify_runner.run_suites(names, workers=args.workers,
+                                           seed=args.seed)
+    print(verify_runner.format_report(results), file=out)
+    return 0 if ok else 1
+
+
 def _cmd_train(args, out) -> int:
     from repro.train import TrainConfig, Trainer
     graph = datasets.load(args.graph, seed=args.seed)
@@ -303,8 +397,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     want_stats = getattr(args, "stats", False)
+    enabled_here = False
     if (trace_path or want_stats) and not trace.tracing_enabled():
         trace.enable()
+        enabled_here = True
     handler = {
         "datasets": _cmd_datasets,
         "sample": _cmd_sample,
@@ -313,15 +409,21 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "figures": _cmd_figures,
         "report": _cmd_report,
         "train": _cmd_train,
+        "verify": _cmd_verify,
     }[args.command]
     code = handler(args, out)
-    if trace_path:
+    if trace_path and code == 0:
         write_chrome_trace(trace_path)
         print(f"wrote trace to {trace_path} "
               "(open in chrome://tracing or https://ui.perfetto.dev)",
               file=out)
+    elif trace_path:
+        print(f"command failed (exit {code}); trace not written",
+              file=out)
     if want_stats:
         print(format_stats(), file=out)
+    if enabled_here:
+        trace.disable()
     return code
 
 

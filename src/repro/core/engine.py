@@ -28,7 +28,6 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.api.app import SamplingApp
-from repro.api.apps._kernels import uniform_neighbors
 from repro.api.sample import SampleBatch
 from repro.api.types import NULL_VERTEX, OutputFormat, SamplingType, StepInfo
 from repro.core import stepper
@@ -43,7 +42,7 @@ from repro.core.transit_map import (
     charge_index_build,
     charge_map_readback,
 )
-from repro.core.unique import charge_dedup, dedupe_rows
+from repro.core.unique import charge_dedup, dedupe_and_topup
 from repro.gpu.device import Device
 from repro.gpu.metrics import DeviceMetrics
 from repro.gpu.multi_gpu import MultiGPU
@@ -357,45 +356,14 @@ class NextDoorEngine:
                      step: int, rng: np.random.Generator,
                      device: Device) -> np.ndarray:
         """Section 6.3: dedup, then one sample-parallel top-up pass."""
-        deduped, num_dups = dedupe_rows(new_vertices)
+        deduped, num_dups, hole_rows = dedupe_and_topup(
+            app, graph, transits, new_vertices, step, rng)
         charge_dedup(device, batch.num_samples, new_vertices.shape[1])
         if num_dups == 0:
             return deduped
-        m = max(app.sample_size(step), 1)
-        rows_with_holes = np.nonzero(
-            (deduped == NULL_VERTEX).any(axis=1)
-            & (new_vertices != NULL_VERTEX).any(axis=1))[0]
-        if rows_with_holes.size:
-            sub = deduped[rows_with_holes]
-            holes = (sub == NULL_VERTEX) & (new_vertices[rows_with_holes]
-                                            != NULL_VERTEX)
-            # np.nonzero enumerates holes row-major — the same (row,
-            # then hole) order the sequential top-up visited, so one
-            # batched draw consumes the identical rng stream.
-            rs, cs = np.nonzero(holes)
-            if rs.size:
-                hole_transits = transits[rows_with_holes[rs], cs // m]
-                draws = uniform_neighbors(graph, hole_transits, 1,
-                                          rng)[:, 0]
-                # Accept a draw iff it is non-NULL, absent from the
-                # row's surviving values, and the first draw of that
-                # value for its row — exactly the sequential
-                # present-set rule.  Membership is tested on composite
-                # (row, value) keys so one isin/unique covers all rows.
-                stride = np.int64(graph.num_vertices) + 2
-                live_r, live_c = np.nonzero(sub != NULL_VERTEX)
-                existing_keys = live_r * stride + sub[live_r, live_c] + 1
-                draw_keys = rs * stride + draws + 1
-                is_first = np.zeros(draw_keys.size, dtype=bool)
-                is_first[np.unique(draw_keys, return_index=True)[1]] = True
-                accept = ((draws != NULL_VERTEX) & is_first
-                          & ~np.isin(draw_keys, existing_keys))
-                deduped[rows_with_holes[rs[accept]], cs[accept]] = \
-                    draws[accept]
         # The top-up is sample-parallel (one warp-pass over the holes).
-        charge_collective_selection(
-            device, int(rows_with_holes.size), 1,
-            info=_TOPUP_INFO)
+        charge_collective_selection(device, hole_rows, 1,
+                                    info=_TOPUP_INFO)
         return deduped
 
 

@@ -24,7 +24,7 @@ from repro.api.types import NULL_VERTEX
 from repro.gpu.device import Device
 from repro.gpu.warp import WarpStats, coalesced_segments
 
-__all__ = ["dedupe_rows", "charge_dedup"]
+__all__ = ["dedupe_rows", "dedupe_and_topup", "charge_dedup"]
 
 
 def dedupe_rows(rows: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -44,6 +44,55 @@ def dedupe_rows(rows: np.ndarray) -> Tuple[np.ndarray, int]:
     num_dups = int(dup.sum())
     out[dup] = NULL_VERTEX
     return out, num_dups
+
+
+def dedupe_and_topup(app, graph, transits: np.ndarray,
+                     new_vertices: np.ndarray, step: int,
+                     rng: np.random.Generator
+                     ) -> Tuple[np.ndarray, int, int]:
+    """The functional half of the Section 6.3 unique pass, shared by
+    every engine: dedup each row, then one top-up pass redrawing the
+    emptied slots from their transits and keeping draws that are new.
+
+    Returns ``(deduped rows, num duplicates, rows topped up)`` so the
+    caller can price the work under its own execution model.
+    """
+    from repro.api.apps._kernels import uniform_neighbors
+
+    deduped, num_dups = dedupe_rows(new_vertices)
+    if num_dups == 0:
+        return deduped, 0, 0
+    m = max(app.sample_size(step), 1)
+    rows_with_holes = np.nonzero(
+        (deduped == NULL_VERTEX).any(axis=1)
+        & (new_vertices != NULL_VERTEX).any(axis=1))[0]
+    if rows_with_holes.size:
+        sub = deduped[rows_with_holes]
+        holes = (sub == NULL_VERTEX) & (new_vertices[rows_with_holes]
+                                        != NULL_VERTEX)
+        # np.nonzero enumerates holes row-major — the same (row, then
+        # hole) order the sequential top-up visited, so one batched
+        # draw consumes the identical rng stream.
+        rs, cs = np.nonzero(holes)
+        if rs.size:
+            hole_transits = transits[rows_with_holes[rs], cs // m]
+            draws = uniform_neighbors(graph, hole_transits, 1, rng)[:, 0]
+            # Accept a draw iff it is non-NULL, absent from the row's
+            # surviving values, and the first draw of that value for
+            # its row — exactly the sequential present-set rule.
+            # Membership is tested on composite (row, value) keys so
+            # one isin/unique covers all rows.
+            stride = np.int64(graph.num_vertices) + 2
+            live_r, live_c = np.nonzero(sub != NULL_VERTEX)
+            existing_keys = live_r * stride + sub[live_r, live_c] + 1
+            draw_keys = rs * stride + draws + 1
+            is_first = np.zeros(draw_keys.size, dtype=bool)
+            is_first[np.unique(draw_keys, return_index=True)[1]] = True
+            accept = ((draws != NULL_VERTEX) & is_first
+                      & ~np.isin(draw_keys, existing_keys))
+            deduped[rows_with_holes[rs[accept]], cs[accept]] = \
+                draws[accept]
+    return deduped, num_dups, int(rows_with_holes.size)
 
 
 def charge_dedup(device: Device, num_samples: int, row_width: int,

@@ -1,0 +1,38 @@
+"""The result record every verification check produces."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["CheckResult"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one verification check.
+
+    ``family`` groups checks by the paper's application families
+    (``walk``, ``khop``, ``collective``) or by the artifact under test
+    (``engine``, ``fixture``, ``api``).
+    """
+
+    name: str
+    suite: str
+    family: str
+    passed: bool
+    statistic: float = field(default=math.nan)
+    pvalue: float = field(default=math.nan)
+    detail: str = ""
+
+    @property
+    def status(self) -> str:
+        return "PASS" if self.passed else "FAIL"
+
+    def __str__(self) -> str:
+        bits = [f"[{self.status}] {self.suite}/{self.name}"]
+        if not math.isnan(self.pvalue):
+            bits.append(f"p={self.pvalue:.4g}")
+        if self.detail:
+            bits.append(self.detail)
+        return " ".join(bits)

@@ -1,0 +1,76 @@
+"""Suite registry and report formatting for ``repro verify``."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench import format_table
+from repro.verify.result import CheckResult
+
+__all__ = ["SUITE_NAMES", "CheckResult", "format_report", "run_suites"]
+
+
+def _stat(workers, seed):
+    from repro.verify.analytic import run_statistical_checks
+    return run_statistical_checks(workers=workers, seed=seed)
+
+
+def _diff(workers, seed):
+    from repro.verify.differential import run_differential_checks
+    return run_differential_checks(workers=workers, seed=seed)
+
+
+def _golden(workers, seed):
+    from repro.verify.golden import run_golden_checks
+    return run_golden_checks(workers=workers, seed=seed)
+
+
+def _fuzz(workers, seed):
+    from repro.verify.fuzz import run_fuzz_checks
+    return run_fuzz_checks(workers=workers, seed=seed)
+
+
+#: suite name -> runner(workers, seed) -> [CheckResult]
+SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
+    "stat": _stat,
+    "diff": _diff,
+    "golden": _golden,
+    "fuzz": _fuzz,
+}
+
+SUITE_NAMES: Tuple[str, ...] = tuple(SUITES)
+
+
+def run_suites(names: Optional[Sequence[str]] = None,
+               workers: Optional[int] = None,
+               seed: int = 0) -> Tuple[List[CheckResult], bool]:
+    """Run the named suites (all by default); returns the results and
+    whether every check passed."""
+    if names is None:
+        names = SUITE_NAMES
+    results: List[CheckResult] = []
+    for name in names:
+        if name not in SUITES:
+            raise ValueError(
+                f"unknown suite {name!r}; choose from "
+                f"{', '.join(SUITE_NAMES)}")
+        results.extend(SUITES[name](workers, seed))
+    return results, all(r.passed for r in results)
+
+
+def format_report(results: Sequence[CheckResult]) -> str:
+    """One table row per check, plus failure details and a summary
+    line."""
+    rows = []
+    for r in results:
+        p = "-" if math.isnan(r.pvalue) else f"{r.pvalue:.4g}"
+        rows.append([r.suite, r.family, r.name, p, r.status])
+    lines = [format_table(["suite", "family", "check", "p-value",
+                           "status"], rows)]
+    failures = [r for r in results if not r.passed]
+    for r in failures:
+        lines.append(f"FAIL {r.suite}/{r.name}: {r.detail or '(no detail)'}")
+    lines.append(f"{len(results) - len(failures)}/{len(results)} checks "
+                 f"passed")
+    return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""Pure-numpy statistical test kernels for the verification suites.
+
+The library's only hard dependency is numpy, so the chi-square and
+Kolmogorov-Smirnov p-values are computed here directly: the regularized
+incomplete gamma function (series + continued fraction, Numerical
+Recipes style) gives the chi-square survival function, and the
+asymptotic Kolmogorov series gives the KS one.  scipy — when present —
+cross-checks these in ``tests/test_verify_stats.py``.
+
+Verification checks are *deterministic*: every empirical sample is
+drawn from a seeded generator, so a check's p-value is a constant.
+Significance thresholds are therefore chosen once, far from both tails
+(see ``docs/TESTING.md``): with ``ALPHA = 1e-3`` a correct sampler's
+fixed seed was observed to give p well above 0.01 on every check while
+any real distributional bug (wrong weighting, off-by-one in a CDF)
+drives p below 1e-12 at the sample counts used.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "ALPHA",
+    "binned_lengths",
+    "chi_square_gof",
+    "chi_square_homogeneity",
+    "chi_square_sf",
+    "gammainc_upper",
+    "geometric_pmf",
+    "ks_1sample",
+    "ks_sf",
+]
+
+#: Significance threshold shared by every statistical check.
+ALPHA = 1e-3
+
+_MAX_ITER = 400
+_EPS = 3e-14
+
+
+def gammainc_upper(a: float, x: float) -> float:
+    """Regularized upper incomplete gamma ``Q(a, x)``.
+
+    Series representation of ``P(a, x)`` for ``x < a + 1``, Lentz's
+    continued fraction for ``Q(a, x)`` otherwise.
+    """
+    if a <= 0:
+        raise ValueError("a must be positive")
+    if x < 0:
+        raise ValueError("x must be non-negative")
+    if x == 0:
+        return 1.0
+    lg = math.lgamma(a)
+    if x < a + 1.0:
+        # P(a, x) = x^a e^-x / Gamma(a) * sum_n x^n / (a (a+1) ... (a+n))
+        term = 1.0 / a
+        total = term
+        ap = a
+        for _ in range(_MAX_ITER):
+            ap += 1.0
+            term *= x / ap
+            total += term
+            if abs(term) < abs(total) * _EPS:
+                break
+        p = total * math.exp(-x + a * math.log(x) - lg)
+        return max(0.0, 1.0 - p)
+    # Q(a, x) continued fraction: x^a e^-x / Gamma(a) * 1/(x+1-a- 1*(1-a)/...)
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITER + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            break
+    return h * math.exp(-x + a * math.log(x) - lg)
+
+
+def chi_square_sf(statistic: float, df: int) -> float:
+    """Chi-square survival function ``P[X >= statistic]``."""
+    if df < 1:
+        raise ValueError("df must be >= 1")
+    if statistic <= 0:
+        return 1.0
+    return float(gammainc_upper(df / 2.0, statistic / 2.0))
+
+
+def _pool_low_expected(observed: np.ndarray, expected: np.ndarray,
+                       min_expected: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge categories with small expected counts into one pooled bin
+    (the standard validity fix for the chi-square approximation)."""
+    small = expected < min_expected
+    if not small.any() or small.sum() <= 1:
+        return observed, expected
+    keep = ~small
+    obs = np.append(observed[keep], observed[small].sum())
+    exp = np.append(expected[keep], expected[small].sum())
+    return obs, exp
+
+
+def chi_square_gof(observed: np.ndarray, expected: np.ndarray,
+                   min_expected: float = 5.0) -> Tuple[float, float]:
+    """Goodness-of-fit test of ``observed`` counts against ``expected``.
+
+    ``expected`` may be unnormalised weights; it is scaled to the
+    observed total.  Returns ``(statistic, pvalue)``.
+    """
+    observed = np.asarray(observed, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if observed.shape != expected.shape:
+        raise ValueError("observed and expected must have the same shape")
+    if (expected < 0).any() or expected.sum() <= 0:
+        raise ValueError("expected weights must be non-negative, sum > 0")
+    expected = expected * (observed.sum() / expected.sum())
+    observed, expected = _pool_low_expected(observed, expected, min_expected)
+    live = expected > 0
+    stat = float(((observed[live] - expected[live]) ** 2
+                  / expected[live]).sum())
+    df = int(live.sum()) - 1
+    if df < 1:
+        return stat, 1.0
+    return stat, chi_square_sf(stat, df)
+
+
+def chi_square_homogeneity(counts_a: np.ndarray, counts_b: np.ndarray,
+                           min_expected: float = 5.0) -> Tuple[float, float]:
+    """Two-sample chi-square test that two count vectors come from the
+    same categorical distribution (2 x K contingency table).
+
+    Categories whose pooled expected count is small are merged first,
+    mirroring :func:`chi_square_gof`.  Returns ``(statistic, pvalue)``.
+    """
+    a = np.asarray(counts_a, dtype=np.float64)
+    b = np.asarray(counts_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("count vectors must have the same shape")
+    na, nb = a.sum(), b.sum()
+    if na <= 0 or nb <= 0:
+        raise ValueError("both samples must contain observations")
+    pooled = a + b
+    ea = pooled * (na / (na + nb))
+    eb = pooled * (nb / (na + nb))
+    small = np.minimum(ea, eb) < min_expected
+    if small.sum() > 1:
+        keep = ~small
+        a = np.append(a[keep], a[small].sum())
+        b = np.append(b[keep], b[small].sum())
+        ea = np.append(ea[keep], ea[small].sum())
+        eb = np.append(eb[keep], eb[small].sum())
+    live = (ea + eb) > 0
+    stat = float(((a[live] - ea[live]) ** 2 / ea[live]).sum()
+                 + ((b[live] - eb[live]) ** 2 / eb[live]).sum())
+    df = int(live.sum()) - 1
+    if df < 1:
+        return stat, 1.0
+    return stat, chi_square_sf(stat, df)
+
+
+def ks_sf(lam: float) -> float:
+    """Kolmogorov distribution survival function
+    ``Q(lam) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lam^2)``."""
+    if lam <= 0:
+        return 1.0
+    total = 0.0
+    sign = 1.0
+    for j in range(1, 101):
+        term = sign * math.exp(-2.0 * (j * lam) ** 2)
+        total += term
+        if abs(term) < 1e-16:
+            break
+        sign = -sign
+    return min(1.0, max(0.0, 2.0 * total))
+
+
+def ks_1sample(samples: np.ndarray, cdf,
+               args: Tuple = ()) -> Tuple[float, float]:
+    """One-sample KS test of ``samples`` against a callable ``cdf``.
+
+    Returns ``(D, pvalue)`` using the Stephens small-sample correction
+    ``lam = (sqrt(n) + 0.12 + 0.11 / sqrt(n)) * D``.
+    """
+    x = np.sort(np.asarray(samples, dtype=np.float64))
+    n = x.size
+    if n == 0:
+        raise ValueError("need at least one sample")
+    f = np.asarray(cdf(x, *args), dtype=np.float64)
+    upper = np.arange(1, n + 1) / n - f
+    lower = f - np.arange(0, n) / n
+    d = float(max(upper.max(), lower.max()))
+    sqrt_n = math.sqrt(n)
+    lam = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d
+    return d, ks_sf(lam)
+
+
+def geometric_pmf(k: np.ndarray, p: float) -> np.ndarray:
+    """``P[K = k]`` for the number of successes before the first
+    failure: ``(1-p)^k p`` (k = 0, 1, ...)."""
+    k = np.asarray(k, dtype=np.float64)
+    return (1.0 - p) ** k * p
+
+
+def binned_lengths(lengths: np.ndarray, max_bin: int,
+                   p: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Observed/expected counts of geometric walk lengths.
+
+    Lengths ``0 .. max_bin - 1`` get their own bins; everything longer
+    (including walks truncated by a step cap) is pooled into the tail,
+    whose expected mass is the geometric survival ``(1-p)^max_bin``.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    observed = np.bincount(np.minimum(lengths, max_bin),
+                           minlength=max_bin + 1).astype(np.float64)
+    ks = np.arange(max_bin)
+    expected = np.empty(max_bin + 1, dtype=np.float64)
+    expected[:max_bin] = geometric_pmf(ks, p)
+    expected[max_bin] = max((1.0 - p) ** max_bin, 1e-300)
+    return observed, expected

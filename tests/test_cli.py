@@ -20,13 +20,77 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["sample", "--app", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_app_message_names_choices(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sample", "--app", "bogus"])
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "DeepWalk" in err
 
-    def test_unknown_graph_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sample", "--app", "DeepWalk",
-                                       "--graph", "bogus"])
+
+class TestErrorPaths:
+    def test_unknown_graph_name(self):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "bogus"])
+        assert code == 2
+        assert "unknown graph" in out
+        assert "ppi" in out  # the message lists valid datasets
+
+    def test_missing_graph_file(self, tmp_path):
+        path = str(tmp_path / "does_not_exist.txt")
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", path, "--samples", "4"])
+        assert code == 2
+        assert "not found" in out and path in out
+
+    def test_unreadable_graph_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", str(path), "--samples", "4"])
+        assert code == 2
+        assert "could not load" in out
+
+    def test_graph_from_edge_list_file(self, tmp_path):
+        path = tmp_path / "tri.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", str(path), "--samples", "4"])
+        assert code == 0
+        assert "tri.txt" in out
+
+    def test_negative_workers_sample(self):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "4",
+                             "--workers", "-2"])
+        assert code == 2
+        assert "--workers" in out and "-2" in out
+
+    def test_negative_workers_compare(self):
+        code, out = run_cli(["compare", "--apps", "DeepWalk",
+                             "--graph", "ppi", "--workers", "-1"])
+        assert code == 2
+        assert "--workers" in out
+
+    def test_trace_and_out_conflict(self, tmp_path):
+        path = str(tmp_path / "same.json")
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "4",
+                             "--trace", path, "--out", path])
+        assert code == 2
+        assert "same file" in out
+
+    def test_failed_command_writes_no_trace(self, tmp_path):
+        trace_path = tmp_path / "t.json"
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "bogus",
+                             "--trace", str(trace_path)])
+        assert code == 2
+        assert not trace_path.exists()
+        assert "trace not written" in out
 
 
 class TestDatasets:
@@ -99,6 +163,36 @@ class TestCompare:
         assert "NextDoor" in out
         assert "KnightKing" in out
         assert "n/a" in out  # KnightKing can't run k-hop
+
+
+class TestVerify:
+    def test_golden_suite_passes(self):
+        code, out = run_cli(["verify", "--suite", "golden"])
+        assert code == 0
+        assert "10/10 checks passed" in out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["verify", "--suite", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_negative_workers_rejected(self):
+        code, out = run_cli(["verify", "--suite", "golden",
+                             "--workers", "-1"])
+        assert code == 2
+        assert "--workers" in out
+
+    def test_regen_requires_golden_suite(self):
+        code, out = run_cli(["verify", "--suite", "stat", "--regen"])
+        assert code == 2
+        assert "--suite golden" in out
+
+    @pytest.mark.stat
+    def test_all_suites_pass(self):
+        code, out = run_cli(["verify", "--suite", "all"])
+        assert code == 0
+        assert "FAIL" not in out
 
 
 class TestBenchAndTrain:

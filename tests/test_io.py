@@ -64,6 +64,69 @@ class TestEdgeList:
         assert io.load_edge_list(str(path)).name == "mygraph.txt"
 
 
+class TestEdgeCaseGraphs:
+    """Round-trips on the degenerate shapes the fuzz suite exercises."""
+
+    def test_empty_graph_npz(self, tmp_path):
+        g = CSRGraph.from_edges(0, [], name="empty")
+        path = str(tmp_path / "g.npz")
+        io.save_npz(g, path)
+        loaded = io.load_npz(path)
+        assert loaded.num_vertices == 0
+        assert loaded.num_edges == 0
+        assert loaded == g
+
+    def test_empty_graph_edge_list(self, tmp_path):
+        g = CSRGraph.from_edges(0, [], name="empty")
+        path = str(tmp_path / "g.txt")
+        io.save_edge_list(g, path)
+        loaded = io.load_edge_list(path, num_vertices=0)
+        assert loaded == g
+
+    def test_single_vertex_no_edges(self, tmp_path):
+        g = CSRGraph.from_edges(1, [], name="single")
+        path = str(tmp_path / "g.npz")
+        io.save_npz(g, path)
+        loaded = io.load_npz(path)
+        assert loaded.num_vertices == 1
+        assert loaded.degree(0) == 0
+        assert loaded == g
+
+    def test_duplicate_edges_preserved(self, tmp_path):
+        g = CSRGraph.from_edges(
+            3, [(0, 1), (0, 1), (0, 1), (1, 2)], name="dup")
+        for suffix, save, load in (
+                (".txt", io.save_edge_list,
+                 lambda p: io.load_edge_list(p, num_vertices=3)),
+                (".npz", io.save_npz, io.load_npz)):
+            path = str(tmp_path / f"g{suffix}")
+            save(g, path)
+            loaded = load(path)
+            assert loaded.num_edges == 4
+            assert loaded.degree(0) == 3
+            assert loaded == g
+
+    def test_self_loops_round_trip(self, tmp_path):
+        g = CSRGraph.from_edges(2, [(0, 0), (0, 1), (1, 1)], name="loops")
+        path = str(tmp_path / "g.npz")
+        io.save_npz(g, path)
+        loaded = io.load_npz(path)
+        assert loaded.has_edge(0, 0) and loaded.has_edge(1, 1)
+        assert loaded == g
+
+    def test_max_degree_star_round_trip(self, star_graph, tmp_path):
+        for suffix, save, load in (
+                (".txt", io.save_edge_list,
+                 lambda p: io.load_edge_list(
+                     p, num_vertices=star_graph.num_vertices)),
+                (".npz", io.save_npz, io.load_npz)):
+            path = str(tmp_path / f"g{suffix}")
+            save(star_graph, path)
+            loaded = load(path)
+            assert loaded.degree(0) == star_graph.num_vertices - 1
+            assert loaded == star_graph
+
+
 class TestNpz:
     def test_round_trip(self, tiny_graph, tmp_path):
         path = str(tmp_path / "g.npz")

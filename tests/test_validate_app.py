@@ -83,6 +83,53 @@ class TestCustomApps:
         with pytest.raises(AppValidationError, match="sample_size"):
             validate_app(Bad(), medium_graph)
 
+    def test_zero_sample_size_rejected_for_individual(self, medium_graph):
+        class Bad(GoodCustom):
+            def sample_size(self, step):
+                return 0
+        with pytest.raises(AppValidationError,
+                           match="sample_size.*>= 1.*individual"):
+            validate_app(Bad(), medium_graph)
+
+    def test_zero_sample_size_one_step_rejected(self, medium_graph):
+        class Bad(GoodCustom):
+            def sample_size(self, step):
+                return 0 if step == 1 else 2
+        with pytest.raises(AppValidationError, match="sample_size\\(1\\)"):
+            validate_app(Bad(), medium_graph)
+
+    def test_record_only_collective_still_validates(self, medium_graph):
+        # ClusterGCN's m = 0 record-only steps are the legal exception.
+        checks = validate_app(
+            ClusterGCN(num_clusters=8, clusters_per_sample=2),
+            medium_graph)
+        assert "sample_size()/unique() per step" in checks
+
+
+class TestConstructorValidation:
+    """Degenerate parameters fail at construction, not mid-run."""
+
+    @pytest.mark.parametrize("build", [
+        lambda: DeepWalk(walk_length=0),
+        lambda: Node2Vec(walk_length=0),
+        lambda: Node2Vec(p=0.0),
+        lambda: Node2Vec(q=-1.0),
+        lambda: MultiRW(num_roots=0, walk_length=5),
+        lambda: MultiRW(num_roots=4, walk_length=0),
+        lambda: PPR(max_steps=0),
+        lambda: PPR(termination_prob=0.0),
+        lambda: KHop(fanouts=()),
+        lambda: KHop(fanouts=(4, 0)),
+        lambda: KHop(fanouts=(-1,)),
+        lambda: MVS(batch_size=0),
+        lambda: Layer(step_size=0, max_size=10),
+        lambda: FastGCN(step_size=0),
+        lambda: LADIES(step_size=8, batch_size=0),
+    ])
+    def test_rejected(self, build):
+        with pytest.raises(ValueError):
+            build()
+
     def test_next_out_of_range(self, medium_graph):
         class Bad(GoodCustom):
             def next(self, sample, transits, src_edges, step, rng):

@@ -1,0 +1,126 @@
+"""API fuzzing: degenerate graphs, RandomApp, and hypothesis drive.
+
+The hypothesis cases run derandomized (fixed example sequence) so CI is
+reproducible; the open-ended seeded sweep is stat-marked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import DeepWalk, KHop
+from repro.core.engine import NextDoorEngine
+from repro.verify.fuzz import (
+    RandomApp,
+    degenerate_graphs,
+    fuzz_case,
+    random_app,
+    random_graph,
+    run_fuzz_checks,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+FUZZ_SETTINGS = settings(
+    max_examples=10, deadline=None, derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestDegenerateGraphs:
+    def test_pool_contains_expected_shapes(self):
+        names = set(degenerate_graphs())
+        assert {"empty", "single_vertex", "self_loops", "isolated",
+                "duplicate_edges", "star", "path"} <= names
+
+    def test_empty_graph_rejected_cleanly(self):
+        g = degenerate_graphs()["empty"]
+        with pytest.raises(ValueError):
+            NextDoorEngine().run(DeepWalk(4), g, num_samples=4, seed=0)
+        result = fuzz_case(DeepWalk(4), g, seed=0)
+        assert result.passed
+        assert "clean reject" in result.detail
+
+    def test_single_vertex_rejected_cleanly(self):
+        result = fuzz_case(DeepWalk(4),
+                           degenerate_graphs()["single_vertex"], seed=0)
+        assert result.passed and "clean reject" in result.detail
+
+    @pytest.mark.parametrize("name", ["self_loops", "isolated",
+                                      "duplicate_edges", "star", "path"])
+    def test_usable_degenerates_pass(self, name):
+        result = fuzz_case(DeepWalk(walk_length=4),
+                           degenerate_graphs()[name], seed=3)
+        assert result.passed, result.detail
+
+    def test_khop_on_star(self):
+        result = fuzz_case(KHop(fanouts=(3, 2)),
+                           degenerate_graphs()["star"], seed=1)
+        assert result.passed, result.detail
+
+
+class TestRandomApp:
+    def test_valid_construction(self):
+        app = RandomApp(sample_sizes=[2, 1, 3],
+                        unique_flags=[True, False, True])
+        assert app.steps() == 3
+        assert app.sample_size(2) == 3
+        assert app.unique(0) and not app.unique(1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomApp(sample_sizes=[], unique_flags=[])
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            RandomApp(sample_sizes=[2, 0], unique_flags=[False, False])
+
+    def test_rejects_mismatched_flags(self):
+        with pytest.raises(ValueError):
+            RandomApp(sample_sizes=[1, 1], unique_flags=[True])
+
+    def test_generators_are_seeded(self):
+        a = random_app(np.random.default_rng(9))
+        b = random_app(np.random.default_rng(9))
+        assert repr(a) == repr(b)
+        ga = random_graph(np.random.default_rng(9))
+        gb = random_graph(np.random.default_rng(9))
+        assert ga.name == gb.name
+        assert ga.num_edges == gb.num_edges
+
+
+class TestHypothesisFuzz:
+    @FUZZ_SETTINGS
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=3),
+                          min_size=1, max_size=3),
+           uniques=st.lists(st.booleans(), min_size=3, max_size=3),
+           seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_random_app_properties_hold(self, sizes, uniques, seed):
+        app = RandomApp(sample_sizes=sizes,
+                        unique_flags=uniques[:len(sizes)])
+        graph = random_graph(np.random.default_rng(seed))
+        result = fuzz_case(app, graph, seed=seed, num_samples=8)
+        assert result.passed, result.detail
+
+    @FUZZ_SETTINGS
+    @given(draw_seed=st.integers(min_value=0, max_value=2 ** 16),
+           case_seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_random_builtin_properties_hold(self, draw_seed, case_seed):
+        rng = np.random.default_rng(draw_seed)
+        result = fuzz_case(random_app(rng), random_graph(rng),
+                           seed=case_seed, num_samples=8)
+        assert result.passed, result.detail
+
+
+@pytest.mark.stat
+class TestFuzzSweep:
+    def test_seeded_sweep_passes(self):
+        results = run_fuzz_checks(seed=0, cases=24)
+        assert len(results) == 7 + 24
+        failures = [str(r) for r in results if not r.passed]
+        assert not failures, "\n".join(failures)
+
+    def test_sweep_is_deterministic(self):
+        a = [r.name for r in run_fuzz_checks(seed=5, cases=4)]
+        b = [r.name for r in run_fuzz_checks(seed=5, cases=4)]
+        assert a == b

@@ -1,0 +1,101 @@
+"""Golden regression snapshots: fixtures exist, match, and catch drift."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.verify import golden
+from repro.verify.golden import (
+    GOLDEN_CASES,
+    check_case,
+    compute_case,
+    golden_dir,
+    run_golden_checks,
+)
+
+
+class TestFixtures:
+    def test_every_case_has_a_committed_fixture(self):
+        for name in GOLDEN_CASES:
+            path = os.path.join(golden_dir(), f"{name}.json")
+            assert os.path.exists(path), f"missing fixture for {name}"
+
+    def test_no_orphan_fixtures(self):
+        on_disk = {f[:-len(".json")]
+                   for f in os.listdir(golden_dir())
+                   if f.endswith(".json")}
+        assert on_disk == set(GOLDEN_CASES)
+
+    def test_fixture_schema(self):
+        path = os.path.join(golden_dir(), "deepwalk.json")
+        with open(path) as f:
+            fixture = json.load(f)
+        assert fixture["app"] == "DeepWalk"
+        assert "roots" in fixture["hashes"]
+        assert fixture["charges"]["seconds"] > 0
+        assert fixture["charges"]["breakdown"]
+
+
+class TestCheckCase:
+    def test_fast_case_passes(self):
+        result = check_case("khop")
+        assert result.passed, result.detail
+        assert "pinned" in result.detail
+
+    def test_compute_is_deterministic(self):
+        assert compute_case("khop") == compute_case("khop")
+
+    def test_workers_do_not_change_snapshot(self):
+        # Chunked RNG plan: the pool must not perturb samples *or*
+        # modeled charges.
+        assert compute_case("khop") == compute_case("khop", workers=2)
+
+    def test_missing_fixture_mentions_regen(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(golden, "golden_dir", lambda: str(tmp_path))
+        result = check_case("khop")
+        assert not result.passed
+        assert "--regen" in result.detail
+
+    def test_tampered_hash_detected(self, tmp_path, monkeypatch):
+        shutil.copytree(golden_dir(), str(tmp_path), dirs_exist_ok=True)
+        path = tmp_path / "khop.json"
+        fixture = json.loads(path.read_text())
+        fixture["hashes"]["step0"] = "0" * 32
+        path.write_text(json.dumps(fixture))
+        monkeypatch.setattr(golden, "golden_dir", lambda: str(tmp_path))
+        result = check_case("khop")
+        assert not result.passed
+        assert "hash[step0] changed" in result.detail
+
+    def test_tampered_charge_detected(self, tmp_path, monkeypatch):
+        shutil.copytree(golden_dir(), str(tmp_path), dirs_exist_ok=True)
+        path = tmp_path / "khop.json"
+        fixture = json.loads(path.read_text())
+        fixture["charges"]["seconds"] *= 1.01  # 1% drift >> CHARGE_RTOL
+        path.write_text(json.dumps(fixture))
+        monkeypatch.setattr(golden, "golden_dir", lambda: str(tmp_path))
+        result = check_case("khop")
+        assert not result.passed
+        assert "seconds" in result.detail
+
+    def test_tampered_metadata_detected(self, tmp_path, monkeypatch):
+        shutil.copytree(golden_dir(), str(tmp_path), dirs_exist_ok=True)
+        path = tmp_path / "khop.json"
+        fixture = json.loads(path.read_text())
+        fixture["steps_run"] += 1
+        path.write_text(json.dumps(fixture))
+        monkeypatch.setattr(golden, "golden_dir", lambda: str(tmp_path))
+        result = check_case("khop")
+        assert not result.passed
+        assert "steps_run" in result.detail
+
+
+@pytest.mark.stat
+class TestFullGoldenSuite:
+    def test_all_cases_pass(self):
+        results = run_golden_checks()
+        assert len(results) == len(GOLDEN_CASES)
+        failures = [str(r) for r in results if not r.passed]
+        assert not failures, "\n".join(failures)

@@ -1,0 +1,190 @@
+"""Pure-numpy statistical kernels behind the verification suites."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.verify.stats import (
+    ALPHA,
+    binned_lengths,
+    chi_square_gof,
+    chi_square_homogeneity,
+    chi_square_sf,
+    gammainc_upper,
+    geometric_pmf,
+    ks_1sample,
+    ks_sf,
+)
+
+
+class TestGamma:
+    def test_q_at_zero_is_one(self):
+        assert gammainc_upper(3.0, 0.0) == 1.0
+
+    def test_exponential_special_case(self):
+        # Q(1, x) = exp(-x)
+        for x in (0.1, 1.0, 5.0, 20.0):
+            assert gammainc_upper(1.0, x) == pytest.approx(math.exp(-x),
+                                                           rel=1e-12)
+
+    def test_half_integer_known_value(self):
+        # Q(1/2, x) = erfc(sqrt(x))
+        for x in (0.25, 1.0, 4.0):
+            assert gammainc_upper(0.5, x) == pytest.approx(
+                math.erfc(math.sqrt(x)), rel=1e-10)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            gammainc_upper(0.0, 1.0)
+        with pytest.raises(ValueError):
+            gammainc_upper(1.0, -1.0)
+
+
+class TestChiSquareSF:
+    def test_df2_closed_form(self):
+        # SF of chi2(2) is exp(-x/2)
+        for x in (0.5, 2.0, 10.0):
+            assert chi_square_sf(x, 2) == pytest.approx(
+                math.exp(-x / 2.0), rel=1e-12)
+
+    def test_matches_scipy(self):
+        sps = pytest.importorskip("scipy.stats")
+        for df in (1, 3, 7, 30):
+            for x in (0.5, 5.0, 25.0, 80.0):
+                assert chi_square_sf(x, df) == pytest.approx(
+                    float(sps.chi2.sf(x, df)), rel=1e-8, abs=1e-300)
+
+
+class TestChiSquareGof:
+    def test_perfect_fit_high_p(self):
+        obs = np.array([100.0, 100.0, 100.0, 100.0])
+        stat, p = chi_square_gof(obs, np.ones(4))
+        assert stat == 0.0
+        assert p == 1.0
+
+    def test_unnormalised_weights_ok(self):
+        rng = np.random.default_rng(0)
+        weights = np.array([1.0, 2.0, 3.0])
+        draws = rng.choice(3, size=6000, p=weights / weights.sum())
+        obs = np.bincount(draws, minlength=3)
+        _, p = chi_square_gof(obs, weights * 17.0)
+        assert p > ALPHA
+
+    def test_detects_wrong_distribution(self):
+        rng = np.random.default_rng(1)
+        draws = rng.choice(3, size=6000, p=[0.5, 0.3, 0.2])
+        obs = np.bincount(draws, minlength=3)
+        _, p = chi_square_gof(obs, np.ones(3))
+        assert p < 1e-12
+
+    def test_matches_scipy(self):
+        sps = pytest.importorskip("scipy.stats")
+        obs = np.array([120.0, 95.0, 101.0, 84.0])
+        stat, p = chi_square_gof(obs, np.ones(4), min_expected=0.0)
+        ref = sps.chisquare(obs)
+        assert stat == pytest.approx(float(ref.statistic), rel=1e-10)
+        assert p == pytest.approx(float(ref.pvalue), rel=1e-8)
+
+    def test_pools_sparse_bins(self):
+        obs = np.array([500.0, 480.0, 2.0, 1.0, 0.0, 1.0])
+        exp = np.array([500.0, 480.0, 1.0, 1.0, 1.0, 1.0])
+        stat, p = chi_square_gof(obs, exp)
+        assert math.isfinite(stat)
+        assert p > ALPHA
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            chi_square_gof(np.ones(3), np.ones(4))
+
+
+class TestHomogeneity:
+    def test_same_distribution_passes(self):
+        rng = np.random.default_rng(2)
+        a = rng.multinomial(4000, np.ones(10) / 10)
+        b = rng.multinomial(6000, np.ones(10) / 10)
+        _, p = chi_square_homogeneity(a, b)
+        assert p > ALPHA
+
+    def test_different_distribution_fails(self):
+        rng = np.random.default_rng(3)
+        a = rng.multinomial(4000, np.ones(10) / 10)
+        probs = np.linspace(1, 4, 10)
+        b = rng.multinomial(4000, probs / probs.sum())
+        _, p = chi_square_homogeneity(a, b)
+        assert p < 1e-12
+
+    def test_matches_scipy_contingency(self):
+        sps = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(4)
+        a = rng.multinomial(3000, np.ones(8) / 8)
+        b = rng.multinomial(5000, np.ones(8) / 8)
+        stat, p = chi_square_homogeneity(a, b, min_expected=0.0)
+        ref = sps.chi2_contingency(np.vstack([a, b]), correction=False)
+        assert stat == pytest.approx(float(ref.statistic), rel=1e-10)
+        assert p == pytest.approx(float(ref.pvalue), rel=1e-8)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            chi_square_homogeneity(np.zeros(3), np.ones(3))
+
+
+class TestKS:
+    def test_ks_sf_endpoints(self):
+        assert ks_sf(0.0) == 1.0
+        assert ks_sf(10.0) < 1e-80
+
+    def test_uniform_samples_pass(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(size=5000)
+        d, p = ks_1sample(x, lambda v: v)
+        assert d < 0.03
+        assert p > ALPHA
+
+    def test_wrong_cdf_fails(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(size=5000) ** 2
+        _, p = ks_1sample(x, lambda v: v)
+        assert p < 1e-12
+
+    def test_matches_scipy_statistic(self):
+        sps = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(7)
+        x = rng.uniform(size=800)
+        d, p = ks_1sample(x, lambda v: v)
+        ref = sps.kstest(x, "uniform")
+        assert d == pytest.approx(float(ref.statistic), abs=1e-12)
+        # Asymptotic Kolmogorov series vs scipy's exact distribution.
+        assert p == pytest.approx(float(ref.pvalue), abs=5e-3)
+
+
+class TestGeometricBins:
+    def test_pmf(self):
+        assert geometric_pmf(np.array([0]), 0.25)[0] == pytest.approx(0.25)
+        assert geometric_pmf(np.array([2]), 0.25)[0] == pytest.approx(
+            0.75 ** 2 * 0.25)
+
+    def test_binned_lengths_mass_sums_to_one(self):
+        lengths = np.array([0, 1, 1, 5, 40])
+        observed, expected = binned_lengths(lengths, max_bin=10, p=0.2)
+        assert observed.sum() == lengths.size
+        assert expected.sum() == pytest.approx(1.0)
+
+    def test_capped_walks_land_in_tail(self):
+        lengths = np.full(100, 64)  # every walk hit a step cap
+        observed, _ = binned_lengths(lengths, max_bin=16, p=0.1)
+        assert observed[-1] == 100
+
+
+@pytest.mark.stat
+class TestAnalyticSuite:
+    def test_every_check_passes_comfortably(self):
+        from repro.verify.analytic import run_statistical_checks
+        results = run_statistical_checks()
+        families = {r.family for r in results}
+        assert {"walk", "khop", "collective"} <= families
+        for r in results:
+            assert r.passed, str(r)
+            # Fixed seeds make p-values constants; keep them far from
+            # the ALPHA boundary so kernel tweaks can't flip a check.
+            assert r.pvalue > 10 * ALPHA, str(r)
