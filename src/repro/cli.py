@@ -97,6 +97,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="RNG-plan chunk size in transit pairs (changes "
                         "sampled values like a seed change; default "
                         "4096)")
+    p.add_argument("--pool-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="worker-pool watchdog: respawn workers that "
+                        "make no progress for this long (default 120; "
+                        "$REPRO_POOL_TIMEOUT does the same)")
+    p.add_argument("--fault-plan", default=None, metavar="PLAN",
+                   help="deterministic fault injection, e.g. "
+                        "'kill-after-chunk:0.3' (see docs/RESILIENCE.md"
+                        "; $REPRO_FAULT_PLAN does the same)")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="persist completed chunk results under DIR so "
+                        "an interrupted run can be resumed")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse chunk results already saved under "
+                        "--checkpoint (resumed runs are bitwise-"
+                        "identical to uninterrupted ones)")
     p.add_argument("--out", default=None,
                    help="save samples to this .npz file")
     _add_obs_flags(p)
@@ -131,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify",
                        help="run the verification suites (statistical, "
-                            "differential, golden, fuzz)")
+                            "differential, golden, fuzz, chaos)")
     p.add_argument("--suite", default="all",
                    choices=["all", *verify_runner.SUITE_NAMES],
                    help="which suite to run (default: all)")
@@ -216,6 +232,42 @@ def _cmd_sample(args, out) -> int:
               f"({args.out}); the trace would overwrite the samples",
               file=out)
         return 2
+    if args.pool_timeout is not None and args.pool_timeout <= 0:
+        print(f"error: --pool-timeout must be > 0 seconds, got "
+              f"{args.pool_timeout}", file=out)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume needs --checkpoint DIR (nothing to "
+              "resume from)", file=out)
+        return 2
+    # The fault plan and pool timeout flow through the environment (the
+    # runtime resolves them at call time); scope them to this command so
+    # in-process callers of main() don't inherit stale settings.
+    scoped_env = {}
+    if args.fault_plan is not None:
+        from repro.runtime.faults import PLAN_ENV, FaultPlan
+        try:
+            FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        scoped_env[PLAN_ENV] = args.fault_plan
+    if args.pool_timeout is not None:
+        from repro.runtime.pool import TIMEOUT_ENV
+        scoped_env[TIMEOUT_ENV] = repr(args.pool_timeout)
+    saved_env = {key: os.environ.get(key) for key in scoped_env}
+    os.environ.update(scoped_env)
+    try:
+        return _run_sample(args, out)
+    finally:
+        for key, old in saved_env.items():
+            if old is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = old
+
+
+def _run_sample(args, out) -> int:
     app = paper_app(args.app)
     graph = _resolve_graph(args, out)
     if graph is None:
@@ -225,14 +277,28 @@ def _cmd_sample(args, out) -> int:
         num_samples = walk_sample_count(graph, args.app)
     engine = ENGINES[args.engine](workers=args.workers,
                                   chunk_size=args.chunk_size)
+    if args.checkpoint:
+        if not isinstance(engine, NextDoorEngine):
+            print("error: --checkpoint requires a NextDoor-family "
+                  "engine (nextdoor, sp, tp, gunrock, tigr)", file=out)
+            return 2
+        engine.checkpoint_dir = args.checkpoint
+        engine.resume = args.resume
     kwargs = {"num_samples": num_samples, "seed": args.seed}
     if args.devices != 1:
         if not isinstance(engine, NextDoorEngine):
             print("error: --devices requires a GPU engine", file=out)
             return 2
         kwargs["num_devices"] = args.devices
+    from repro.runtime.faults import FaultInjected
     try:
         result = engine.run(app, graph, **kwargs)
+    except FaultInjected as exc:
+        where = (f"; completed chunks saved under {args.checkpoint}, "
+                 "rerun with --resume" if args.checkpoint else "")
+        print(f"error: run stopped by injected fault: {exc}{where}",
+              file=out)
+        return 1
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2

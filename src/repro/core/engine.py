@@ -131,7 +131,9 @@ class NextDoorEngine:
                  config: KernelPlanConfig = KernelPlanConfig(),
                  use_reference: bool = False,
                  workers: Optional[int] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: bool = False) -> None:
         self.spec = spec
         self.config = config
         self.use_reference = use_reference
@@ -140,6 +142,12 @@ class NextDoorEngine:
         self.workers = workers
         #: Pairs per RNG-plan chunk (None = runtime default).
         self.chunk_size = chunk_size
+        #: Directory for per-chunk checkpoints (None = no checkpointing)
+        #: and whether to reuse results already saved there.  Resumed
+        #: runs are bitwise-identical to uninterrupted ones — see
+        #: ``docs/RESILIENCE.md``.
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
 
     # ------------------------------------------------------------------
 
@@ -163,6 +171,11 @@ class NextDoorEngine:
             batch = stepper.init_batch(app, graph, num_samples, roots,
                                        ctx.init_rng())
             run_span.set(samples=batch.num_samples)
+            if self.checkpoint_dir is not None:
+                ctx.attach_checkpoint(self.checkpoint_dir, self.resume,
+                                      app=app, graph=graph,
+                                      roots=batch.roots,
+                                      use_reference=self.use_reference)
             ctx.begin_run(app, graph, use_reference=self.use_reference)
             if num_devices == 1:
                 device = Device(self.spec)
@@ -404,7 +417,8 @@ def _merge_batches(graph, shards: List[SampleBatch]) -> SampleBatch:
 
 #: Keyword arguments ``do_sampling`` accepts beyond its positionals.
 _DO_SAMPLING_KWARGS = ("spec", "config", "use_reference", "workers",
-                       "chunk_size", "num_devices")
+                       "chunk_size", "checkpoint_dir", "resume",
+                       "num_devices")
 
 
 def do_sampling(app: SamplingApp, graph, num_samples: int, seed: int = 0,

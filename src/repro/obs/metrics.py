@@ -16,12 +16,30 @@ name                            kind        meaning
 ``engine.steps_run``            counter     sampling steps executed
 ``runtime.chunks_inprocess``    counter     chunks run in the parent
 ``runtime.chunks_pooled``       counter     chunks run on pool workers
+``runtime.degraded_mode``       gauge       1 while a run has abandoned
+                                            its pool (else 0)
 ``rng.chunk_streams``           counter     chunk generators derived
 ``pool.chunks_dispatched``      counter     chunk messages sent to pipes
-``pool.worker_crashes``         counter     :class:`WorkerCrash` events
+``pool.worker_crashes``         counter     worker deaths *detected*
+                                            (pipe EOF, watchdog, failed
+                                            respawn) — not exception
+                                            constructions
+``pool.worker_respawns``        counter     dead workers revived by the
+                                            supervisor
+``pool.chunk_retries``          histogram   per-chunk kill counts when a
+                                            worker dies holding chunks
+``pool.chunks_quarantined``     counter     poison chunks pulled from
+                                            the pool (run in-process)
+``pool.chunk_errors``           counter     worker-side application
+                                            exceptions in a chunk
 ``pool.queue_depth``            gauge       undispatched chunks (last)
 ``pool.chunk_seconds``          histogram   worker-side chunk latency
+``checkpoint.chunks_saved``     counter     chunk results checkpointed
+``checkpoint.chunks_loaded``    counter     chunk results restored on
+                                            ``--resume``
 ``shm.bytes_mapped``            counter     shared-memory bytes exported
+``shm.segments_swept``          counter     orphaned segments of dead
+                                            owners unlinked at startup
 ==============================  ========== =============================
 """
 

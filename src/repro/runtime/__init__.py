@@ -5,13 +5,27 @@ draws) across a persistent shared-memory worker pool while the
 performance-model half stays in the parent, full-batch.  See
 ``docs/PERF.md`` ("Multicore runtime") for the determinism contract:
 samples are bitwise-identical for any worker count, and every modeled
-charge is unchanged by the runtime.
+charge is unchanged by the runtime — and ``docs/RESILIENCE.md`` for
+the failure model: the pool supervisor respawns crashed workers,
+quarantines poison chunks, deterministic faults are injected via
+:mod:`repro.runtime.faults`, and interrupted runs checkpoint/resume
+through :mod:`repro.runtime.checkpoint`.
 """
 
+from repro.runtime.checkpoint import (
+    CheckpointStore,
+    graph_digest,
+    run_fingerprint,
+)
 from repro.runtime.context import ExecutionContext, resolve_workers
+from repro.runtime.faults import FaultInjected, FaultPlan
 from repro.runtime.pool import (
     WorkerCrash,
     get_pool,
+    resolve_max_inflight,
+    resolve_progress_timeout,
+    resolve_respawn_budget,
+    retire_pool,
     shutdown_pools,
 )
 from repro.runtime.rngplan import (
@@ -26,6 +40,7 @@ from repro.runtime.shm import (
     import_graph,
     release_all,
     release_graph,
+    sweep_stale_segments,
 )
 
 __all__ = [
@@ -37,10 +52,20 @@ __all__ = [
     "AUX_POST",
     "WorkerCrash",
     "get_pool",
+    "retire_pool",
     "shutdown_pools",
+    "resolve_max_inflight",
+    "resolve_progress_timeout",
+    "resolve_respawn_budget",
+    "FaultPlan",
+    "FaultInjected",
+    "CheckpointStore",
+    "graph_digest",
+    "run_fingerprint",
     "SharedGraphHandle",
     "export_graph",
     "import_graph",
     "release_graph",
     "release_all",
+    "sweep_stale_segments",
 ]

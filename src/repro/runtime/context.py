@@ -32,9 +32,15 @@ Worker dispatch is gated to hooks that are pure functions of
   workers would erase the win).
 
 Everything else runs its chunks in-process — with the *same* chunk
-generators, preserving bitwise identity.  If the pool crashes mid-step
-the context warns, re-runs the missing chunks in-process (identical by
-chunk purity), and finishes the run without workers.
+generators, preserving bitwise identity.  Worker crashes are survived
+by the pool's own supervisor (respawn + chunk retry + poison-chunk
+quarantine, :mod:`repro.runtime.pool`); only when that supervisor
+gives up — respawn budget exhausted — does the context warn, re-run
+the missing chunks in-process (identical by chunk purity), and finish
+the run without workers.  With a checkpoint attached
+(:meth:`ExecutionContext.attach_checkpoint`), every completed chunk
+result is persisted so an interrupted run can resume
+bitwise-identically.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -50,6 +56,9 @@ import numpy as np
 from repro.api.app import SamplingApp
 from repro.api.types import NULL_VERTEX, StepInfo
 from repro.obs import get_metrics, trace
+from repro.runtime import faults
+from repro.runtime.checkpoint import CheckpointStore, run_fingerprint
+from repro.runtime.faults import FaultInjected
 from repro.runtime.pool import WorkerCrash, get_pool, retire_pool
 from repro.runtime.rngplan import AUX_POST, AUX_TOPUP, RNGPlan
 from repro.runtime.worker import exec_collective_chunk, exec_individual_chunk
@@ -144,6 +153,12 @@ class ExecutionContext:
         self.plan = plan
         self.pool = None
         self._pool_failed = False
+        #: Chunk-result store attached by the engine for
+        #: ``--checkpoint`` runs (None = no checkpointing).
+        self.checkpoint: Optional[CheckpointStore] = None
+        #: The active deterministic fault plan (``$REPRO_FAULT_PLAN``),
+        #: parsed fresh per run so firing budgets are per run.
+        self._fault_plan = faults.active_plan()
         #: The run's tracer — the process-global tracer captured at
         #: construction and plumbed into every shard context, so shard
         #: threads and worker-chunk lanes land in one trace.
@@ -168,9 +183,23 @@ class ExecutionContext:
                                plan=self.plan.shard(shard_index))
         ctx.pool = self.pool
         ctx._pool_failed = self._pool_failed
+        ctx.checkpoint = self.checkpoint
+        ctx._fault_plan = self._fault_plan
         ctx.tracer = self.tracer
         ctx.metrics = self.metrics
         return ctx
+
+    def attach_checkpoint(self, directory: str, resume: bool, app,
+                          graph, roots: np.ndarray,
+                          use_reference: bool = False) -> None:
+        """Persist completed chunk results under ``directory`` (and,
+        with ``resume``, load any already there).  The store is keyed
+        by a fingerprint of every chunk-result input — app, graph
+        content, seed, chunk sizes, roots — so mismatched state can
+        never be replayed into the wrong run."""
+        fp = run_fingerprint(app, graph, self.plan.seed, self.plan,
+                             roots, use_reference)
+        self.checkpoint = CheckpointStore(directory, fp, resume=resume)
 
     # -- pool lifecycle ------------------------------------------------
 
@@ -181,6 +210,10 @@ class ExecutionContext:
         execution with a warning — never a failed run."""
         if self.workers < 1 or self._pool_failed:
             return
+        plan = self._fault_plan
+        self.metrics.gauge("runtime.degraded_mode").set(0)
+        if plan is not None and plan.should("unpicklable-app"):
+            return
         try:
             pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
@@ -189,11 +222,17 @@ class ExecutionContext:
             # any other non-dispatchable hook, same chunked plan.
             return
         try:
+            if plan is not None and plan.should("shm-export-fail"):
+                raise OSError("injected shared-memory export failure")
             from repro.runtime.shm import export_graph
             handle = export_graph(graph)
             self.pool = get_pool(self.workers)
+            if plan is not None and plan.should("broadcast-fail"):
+                raise WorkerCrash("injected broadcast failure", {})
             self.pool.broadcast_run(app, handle, self.plan.seed,
-                                    use_reference)
+                                    use_reference,
+                                    fault_spec=plan.spec if plan
+                                    else None)
         except WorkerCrash as exc:
             self._abandon_pool(f"worker pool unavailable ({exc}); ")
         except (OSError, ValueError) as exc:
@@ -209,6 +248,7 @@ class ExecutionContext:
             retire_pool(self.pool)
         self.pool = None
         self._pool_failed = True
+        self.metrics.gauge("runtime.degraded_mode").set(1)
 
     # -- individual steps ---------------------------------------------
 
@@ -226,6 +266,7 @@ class ExecutionContext:
     ) -> Tuple[np.ndarray, StepInfo]:
         """Chunked equivalent of the stepper's individual step."""
         from repro.core.stepper import prev_transits_for
+        self._maybe_interrupt(step)
         m = app.sample_size(step)
         width = transits.shape[1] * m
         out = np.full((batch.num_samples, max(width, 0)), NULL_VERTEX,
@@ -239,11 +280,14 @@ class ExecutionContext:
             return out, StepInfo()
         self.metrics.counter("rng.chunk_streams").inc(nchunks)
 
+        results: Dict[int, tuple] = self._load_checkpointed(
+            "i", step, nchunks)
+        restored = frozenset(results)
         dispatch = (
-            self.pool is not None and nchunks > 1 and not use_reference
+            self.pool is not None and not use_reference
+            and nchunks - len(restored) > 1
             and type(app).sample_neighbors
             is not SamplingApp.sample_neighbors)
-        results: Dict[int, tuple] = {}
         sampling_span = self.tracer.span(
             "sampling.individual", step=step,
             pairs=int(transit_vals.size), chunks=nchunks,
@@ -252,6 +296,8 @@ class ExecutionContext:
             if dispatch:
                 jobs = []
                 for c in range(nchunks):
+                    if c in restored:
+                        continue
                     lo, hi = int(bounds[c]), int(bounds[c + 1])
                     roots_rows = batch.roots[sample_ids[lo:hi]]
                     jobs.append((c, ("ichunk", c, step,
@@ -259,8 +305,9 @@ class ExecutionContext:
                                      transit_vals[lo:hi],
                                      None if prev is None else prev[lo:hi],
                                      roots_rows)))
-                results = self._dispatch(jobs)
-                self._record_pooled_chunks(results, step)
+                pooled = self._dispatch(jobs)
+                self._record_pooled_chunks(pooled, step)
+                results.update(pooled)
             for c in range(nchunks):
                 if c in results:
                     continue
@@ -276,6 +323,7 @@ class ExecutionContext:
                         use_reference=use_reference)
                 results[c] = (sampled, info)
                 self.metrics.counter("runtime.chunks_inprocess").inc()
+        self._save_checkpointed("i", step, results, restored)
 
         sampled_all = (results[0][0] if nchunks == 1 else
                        np.concatenate([results[c][0]
@@ -303,6 +351,7 @@ class ExecutionContext:
     ) -> Tuple[np.ndarray, StepInfo, Optional[np.ndarray], np.ndarray]:
         """Chunked equivalent of the stepper's collective step."""
         from repro.api.apps._kernels import build_combined_neighborhood
+        self._maybe_interrupt(step)
         if app.needs_combined_values or use_reference:
             values, offsets = build_combined_neighborhood(graph, transits)
         else:
@@ -325,12 +374,15 @@ class ExecutionContext:
             return empty, StepInfo(), None, np.diff(offsets)
         self.metrics.counter("rng.chunk_streams").inc(nchunks)
 
+        results: Dict[int, tuple] = self._load_checkpointed(
+            "c", step, nchunks)
+        restored = frozenset(results)
         dispatch = (
-            self.pool is not None and nchunks > 1 and not use_reference
+            self.pool is not None and not use_reference
+            and nchunks - len(restored) > 1
             and values is None and not app.collective_needs_batch
             and type(app).sample_from_neighborhood
             is not SamplingApp.sample_from_neighborhood)
-        results: Dict[int, tuple] = {}
         sampling_span = self.tracer.span(
             "sampling.collective", step=step, rows=num_rows,
             chunks=nchunks, dispatched=bool(dispatch))
@@ -338,14 +390,17 @@ class ExecutionContext:
             if dispatch:
                 jobs = []
                 for c in range(nchunks):
+                    if c in restored:
+                        continue
                     lo, hi = int(bounds[c]), int(bounds[c + 1])
                     offs = offsets[lo:hi + 1] - offsets[lo]
                     jobs.append((c, ("cchunk", c, step,
                                      self.plan.chunk_key(step, c),
                                      None, offs,
                                      np.asarray(transits)[lo:hi])))
-                results = self._dispatch(jobs)
-                self._record_pooled_chunks(results, step)
+                pooled = self._dispatch(jobs)
+                self._record_pooled_chunks(pooled, step)
+                results.update(pooled)
             for c in range(nchunks):
                 if c in results:
                     continue
@@ -362,6 +417,7 @@ class ExecutionContext:
                         use_reference=use_reference)
                 results[c] = (vertices, info)
                 self.metrics.counter("runtime.chunks_inprocess").inc()
+        self._save_checkpointed("c", step, results, restored)
 
         new_vertices = (results[0][0] if nchunks == 1 else
                         np.concatenate([results[c][0]
@@ -372,7 +428,39 @@ class ExecutionContext:
                                       new_vertices, step)
         return new_vertices, info, edges, np.diff(offsets)
 
-    # -- pool dispatch with crash fallback ----------------------------
+    # -- faults, checkpointing, and pool dispatch ---------------------
+
+    def _maybe_interrupt(self, step: int) -> None:
+        """Deterministic stand-in for ctrl-C: the ``interrupt-step``
+        fault aborts the run at the start of a step (after any earlier
+        steps' chunk results were checkpointed)."""
+        if self._fault_plan is not None and self._fault_plan.should(
+                "interrupt-step", step):
+            raise FaultInjected(f"injected interrupt at step {step}")
+
+    def _load_checkpointed(self, kind: str, step: int,
+                           nchunks: int) -> Dict[int, tuple]:
+        """Chunk results restored from an attached resume store."""
+        if self.checkpoint is None or not self.checkpoint.resume:
+            return {}
+        results: Dict[int, tuple] = {}
+        for c in range(nchunks):
+            hit = self.checkpoint.load(kind, self.plan.namespace,
+                                       step, c)
+            if hit is not None:
+                results[c] = hit
+        return results
+
+    def _save_checkpointed(self, kind: str, step: int,
+                           results: Dict[int, tuple],
+                           restored: frozenset) -> None:
+        """Persist every freshly-computed chunk result of one step."""
+        if self.checkpoint is None:
+            return
+        for c, payload in results.items():
+            if c not in restored:
+                self.checkpoint.save(kind, self.plan.namespace, step,
+                                     c, payload[0], payload[1])
 
     def _dispatch(self, jobs) -> Dict[int, tuple]:
         try:

@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the sampling runtime.
+
+Every crash path the resilient pool must survive — worker deaths,
+wedges, pipe EOFs, shared-memory failures, in-chunk exceptions,
+interrupted runs — is exercisable on demand through a *fault plan*: a
+small spec string activated via ``$REPRO_FAULT_PLAN`` (or the CLI's
+``--fault-plan``).  Plans are deterministic by construction: a fault
+fires when its trigger matches, never from wall-clock or randomness,
+so a chaos run is exactly reproducible and the bitwise-identity
+invariant can be asserted under every injected failure
+(``repro verify --suite chaos``).
+
+Grammar (see ``docs/RESILIENCE.md``)::
+
+    plan  := spec ("," spec)*
+    spec  := name [":" arg [":" times]]
+    arg   := CHUNK | STEP "." CHUNK      (faults matched per chunk)
+    times := positive int | "*"          (default 1)
+
+``times`` bounds how often a spec fires **per plan instance**.  The
+parent process parses one plan per run; each pool worker parses its own
+copy from the run broadcast, so a ``times`` budget is per worker
+process — a respawned worker starts with fresh budgets, which is what
+lets a single spec drive the poison-chunk quarantine path (the same
+chunk kills the respawned worker too).
+
+Fault names:
+
+========================  =============================================
+worker-side (fire in pool worker processes)
+----------------------------------------------------------------------
+``kill-before-chunk:A``   ``os._exit`` on receiving chunk A, before
+                          sampling it (hard crash, result lost)
+``kill-after-chunk:A``    sample chunk A, ship the result, then
+                          ``os._exit`` (crash with no lost work)
+``wedge-chunk:A``         sleep past any watchdog instead of running
+                          chunk A (progress timeout must fire)
+``pipe-eof:A``            close the worker's pipe end on chunk A and
+                          exit (parent sees EOF)
+``chunk-error:A``         raise :class:`FaultInjected` inside chunk A
+                          (exercises the worker-error retry path)
+----------------------------------------------------------------------
+parent-side (fire in the dispatching process)
+----------------------------------------------------------------------
+``shm-export-fail``       graph export raises ``OSError`` in
+                          ``begin_run`` (pool never attaches)
+``broadcast-fail``        run broadcast raises ``WorkerCrash``
+``unpicklable-app``       the app is treated as unpicklable (silent
+                          in-process execution, not a pool failure)
+``interrupt-step:S``      raise :class:`FaultInjected` at the start of
+                          step S (deterministic stand-in for ctrl-C;
+                          drives the checkpoint/resume chaos check)
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple, Union
+
+__all__ = ["FaultInjected", "FaultSpec", "FaultPlan", "active_plan",
+           "PLAN_ENV", "FAULT_NAMES"]
+
+#: Environment variable holding the active fault plan spec.
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Every recognised fault name (parse rejects anything else so typos
+#: fail loudly instead of silently injecting nothing).
+FAULT_NAMES = (
+    "kill-before-chunk",
+    "kill-after-chunk",
+    "wedge-chunk",
+    "pipe-eof",
+    "chunk-error",
+    "shm-export-fail",
+    "broadcast-fail",
+    "unpicklable-app",
+    "interrupt-step",
+)
+
+#: Names whose ``arg`` is required (they trigger on a chunk or step).
+_ARG_REQUIRED = frozenset(FAULT_NAMES) - {
+    "shm-export-fail", "broadcast-fail", "unpicklable-app"}
+
+
+class FaultInjected(RuntimeError):
+    """An exception raised by an injected fault (never by real code)."""
+
+
+class FaultSpec:
+    """One parsed fault: name, optional trigger arg, firing budget."""
+
+    __slots__ = ("name", "arg", "remaining")
+
+    def __init__(self, name: str, arg: Optional[Tuple[int, ...]],
+                 times: Optional[int]) -> None:
+        self.name = name
+        #: () = always matches; (C,) = chunk C of any step;
+        #: (S, C) = chunk C of step S only.
+        self.arg = arg if arg is not None else ()
+        #: None = unbounded (``*``); else fires this many times.
+        self.remaining = times
+
+    def matches(self, value: Tuple[int, ...]) -> bool:
+        if not self.arg:
+            return True
+        if len(self.arg) == 1:
+            # Match on the trailing component (chunk id / step id).
+            return bool(value) and value[-1] == self.arg[0]
+        return tuple(value) == self.arg
+
+    def fire(self, value: Tuple[int, ...]) -> bool:
+        """True (and consume one firing) if this spec triggers now."""
+        if self.remaining == 0 or not self.matches(value):
+            return False
+        if self.remaining is not None:
+            self.remaining -= 1
+        return True
+
+
+class FaultPlan:
+    """A parsed, stateful fault plan.
+
+    ``should(name, *value)`` is the single query point: it returns
+    ``True`` when a spec with that name matches ``value`` and still has
+    firing budget, consuming one firing.  The raw ``spec`` string rides
+    along so the parent can ship the plan to pool workers verbatim
+    (each side keeps its own budgets).
+    """
+
+    def __init__(self, specs: List[FaultSpec], spec: str) -> None:
+        self.specs = specs
+        self.spec = spec
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> Optional["FaultPlan"]:
+        """Parse a plan string; ``None``/blank parses to ``None``.
+
+        Raises ``ValueError`` with a readable message on bad input.
+        """
+        if text is None or not text.strip():
+            return None
+        specs: List[FaultSpec] = []
+        for raw in text.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            parts = raw.split(":")
+            if len(parts) > 3:
+                raise ValueError(f"fault spec {raw!r} has too many "
+                                 "fields (name[:arg[:times]])")
+            name = parts[0]
+            if name not in FAULT_NAMES:
+                raise ValueError(
+                    f"unknown fault {name!r}; choose from "
+                    f"{', '.join(FAULT_NAMES)}")
+            arg: Optional[Tuple[int, ...]] = None
+            if len(parts) >= 2:
+                arg = cls._parse_arg(raw, parts[1])
+            elif name in _ARG_REQUIRED:
+                raise ValueError(f"fault {name!r} needs an arg "
+                                 f"({raw!r}; e.g. {name}:3 or {name}:0.3)")
+            times: Optional[int] = 1
+            if len(parts) == 3:
+                if parts[2] == "*":
+                    times = None
+                else:
+                    try:
+                        times = int(parts[2])
+                    except ValueError:
+                        raise ValueError(
+                            f"bad times field in {raw!r}: {parts[2]!r} "
+                            "(positive int or *)") from None
+                    if times < 1:
+                        raise ValueError(
+                            f"times must be >= 1 in {raw!r}")
+            specs.append(FaultSpec(name, arg, times))
+        if not specs:
+            return None
+        return cls(specs, text)
+
+    @staticmethod
+    def _parse_arg(raw: str, field: str) -> Tuple[int, ...]:
+        try:
+            if "." in field:
+                step_s, chunk_s = field.split(".", 1)
+                return (int(step_s), int(chunk_s))
+            return (int(field),)
+        except ValueError:
+            raise ValueError(
+                f"bad arg in fault spec {raw!r}: {field!r} "
+                "(expected CHUNK or STEP.CHUNK)") from None
+
+    def should(self, name: str, *value: Union[int, None]) -> bool:
+        """Does fault ``name`` fire for this trigger point?"""
+        point = tuple(int(v) for v in value if v is not None)
+        for spec in self.specs:
+            if spec.name == name and spec.fire(point):
+                return True
+        return False
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan from ``$REPRO_FAULT_PLAN``, freshly parsed (budgets
+    reset), or ``None`` when unset.  Raises ``ValueError`` on a
+    malformed spec — a typo'd chaos run must fail, not silently run
+    fault-free."""
+    return FaultPlan.parse(os.environ.get(PLAN_ENV))

@@ -11,8 +11,13 @@ without running any of the constructor's validation or sorting (the
 exporter's arrays are already validated and row-sorted).
 
 Cleanup is owner-side: the exporting process unlinks every segment via
-``release_graph`` / ``release_all`` (also registered with ``atexit``),
-and importers only ever ``close()`` their mappings.  On Python < 3.13
+``release_graph`` / ``release_all`` (registered with ``atexit``, and
+with a ``SIGTERM`` handler so a polite kill also cleans up), and
+importers only ever ``close()`` their mappings.  Segment names embed
+the owner's PID, so when an owner dies *hard* (SIGKILL, OOM) —
+skipping atexit entirely — the next pool startup's
+:func:`sweep_stale_segments` can prove the owner is gone and unlink
+the orphans.  On Python < 3.13
 an attaching process wrongly registers the segment with its resource
 tracker (bpo-38119), which would unlink it when that process exits;
 ``_attach`` undoes the registration so workers cannot reap segments
@@ -24,6 +29,8 @@ from __future__ import annotations
 import atexit
 import os
 import secrets
+import signal
+import threading
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
@@ -34,10 +41,12 @@ from repro.graph.csr import CSRGraph
 from repro.obs import get_metrics
 
 __all__ = ["SharedGraphHandle", "export_graph", "import_graph",
-           "release_graph", "release_all", "SEGMENT_PREFIX"]
+           "release_graph", "release_all", "sweep_stale_segments",
+           "SEGMENT_PREFIX"]
 
-#: Prefix of every segment this module creates — the leak tests sweep
-#: ``/dev/shm`` for it.
+#: Prefix of every segment this module creates — the leak tests and
+#: the stale-segment sweep scan ``/dev/shm`` for it.  Full names are
+#: ``{prefix}_{owner pid}_{export key}_{array}``.
 SEGMENT_PREFIX = "reprocsr"
 
 
@@ -66,9 +75,11 @@ _OWNED: Dict[str, List[shared_memory.SharedMemory]] = {}
 def _export_array(handle_arrays, segments, key: str, name: str,
                   arr: np.ndarray) -> None:
     arr = np.ascontiguousarray(arr)
+    # The owner's PID in the name lets sweep_stale_segments prove a
+    # leftover segment's exporter is dead before unlinking it.
     shm = shared_memory.SharedMemory(
         create=True, size=max(int(arr.nbytes), 1),
-        name=f"{SEGMENT_PREFIX}_{key}_{name}")
+        name=f"{SEGMENT_PREFIX}_{os.getpid()}_{key}_{name}")
     view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
     view[...] = arr
     segments.append(shm)
@@ -84,6 +95,7 @@ def export_graph(graph: CSRGraph) -> SharedGraphHandle:
     cached = getattr(graph, "_shared_handle", None)
     if cached is not None and cached.key in _OWNED:
         return cached
+    _install_sigterm_cleanup()
     key = secrets.token_hex(4)
     arrays: Dict[str, Tuple[str, str, Tuple[int, ...]]] = {}
     segments: List[shared_memory.SharedMemory] = []
@@ -144,6 +156,95 @@ def _release_by_key(key: str) -> None:  # pragma: no cover - alias
 
 
 atexit.register(release_all)
+
+
+_SIGTERM_INSTALLED = False
+
+
+def _install_sigterm_cleanup() -> None:
+    """Unlink our segments on a polite kill (installed once).
+
+    ``atexit`` does not run when a process dies to an unhandled
+    ``SIGTERM``, so a plain ``kill`` would orphan every exported
+    segment until the next sweep.  The handler releases our segments,
+    retires the worker pools, then restores the default disposition and
+    re-raises the signal so the exit status still says "killed by
+    SIGTERM".  Installed only from the main thread and only when nobody
+    else claimed SIGTERM; otherwise the stale-segment sweep is the
+    backstop.
+    """
+    global _SIGTERM_INSTALLED
+    if _SIGTERM_INSTALLED:
+        return
+    _SIGTERM_INSTALLED = True
+    if threading.current_thread() is not threading.main_thread():
+        return  # pragma: no cover - signal.signal would raise here
+    try:
+        current = signal.getsignal(signal.SIGTERM)
+    except (ValueError, OSError):  # pragma: no cover - exotic platform
+        return
+    if current not in (signal.SIG_DFL, None):
+        return
+
+    def _on_sigterm(signum, frame):
+        try:
+            from repro.runtime.pool import shutdown_pools
+            shutdown_pools()
+        except Exception:
+            pass
+        try:
+            release_all()
+        finally:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (conservatively True)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - EPERM: alive, not ours
+        return True
+    return True
+
+
+def sweep_stale_segments() -> int:
+    """Unlink segments whose exporting process is provably dead.
+
+    Runs at every pool startup.  A segment is removed only when its
+    name carries an owner PID and ``kill(pid, 0)`` proves that process
+    gone — live owners, our own exports, and unparseable names are all
+    left alone, so concurrent runs on one host never reap each other.
+    Returns the number of segments unlinked.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return 0
+    own = os.getpid()
+    prefix = SEGMENT_PREFIX + "_"
+    swept = 0
+    for name in os.listdir(shm_dir):
+        if not name.startswith(prefix):
+            continue
+        pid_text = name[len(prefix):].split("_", 1)[0]
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            continue  # foreign or legacy name: not ours to judge
+        if pid == own or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+        except OSError:  # pragma: no cover - lost a race with a peer
+            continue
+        swept += 1
+    if swept:
+        get_metrics().counter("shm.segments_swept").inc(swept)
+    return swept
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:

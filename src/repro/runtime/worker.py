@@ -18,7 +18,7 @@ tuples ``(kind, ...)`` over a duplex ``Pipe``:
 parent -> worker          worker -> parent
 =======================  ============================================
 ("run", blob, handle,     ("ready",) | ("err", None, traceback)
- seed, use_ref)
+ seed, use_ref, faults)
 ("ichunk", id, step,      ("ok", id, sampled, info, timing) |
  key, vals, prev, roots)  ("err", id, traceback)
 ("cchunk", id, step,      ("ok", id, vertices, info, timing) |
@@ -27,6 +27,13 @@ parent -> worker          worker -> parent
 ("crash",)                *process exits hard (tests only)*
 ("stop",)                 *process exits cleanly*
 =======================  ============================================
+
+``faults`` is the raw fault-plan spec (or ``None``): each worker
+parses its own :class:`~repro.runtime.faults.FaultPlan`, so firing
+budgets are per worker process and deterministic fault injection
+(``docs/RESILIENCE.md``) reaches the exact crash sites the supervisor
+must survive — before a chunk runs, after its result shipped, a wedge
+past the watchdog, a silent pipe EOF, or an in-chunk exception.
 
 ``timing`` is ``(worker_index, t_start, t_end)`` from the worker's
 ``time.monotonic()`` clock — measured unconditionally (two clock reads
@@ -56,6 +63,7 @@ import numpy as np
 
 from repro.api.app import SamplingApp
 from repro.api.types import StepInfo
+from repro.runtime.faults import FaultInjected, FaultPlan
 from repro.runtime.rngplan import generator_for
 from repro.runtime.shm import import_graph
 
@@ -116,6 +124,27 @@ def exec_collective_chunk(
                    step, rng)
 
 
+#: How long a wedged worker sleeps — effectively forever; the parent's
+#: watchdog fires long before and the supervisor terminates us.
+_WEDGE_SLEEP_S = 3600.0
+
+
+def _injected_faults(plan, conn, step: int, chunk_id: int) -> None:
+    """Fire any worker-side faults triggered by ``(step, chunk)``."""
+    if plan is None:
+        return
+    if plan.should("kill-before-chunk", step, chunk_id):
+        os._exit(13)
+    if plan.should("pipe-eof", step, chunk_id):
+        conn.close()
+        os._exit(0)
+    if plan.should("wedge-chunk", step, chunk_id):
+        time.sleep(_WEDGE_SLEEP_S)
+    if plan.should("chunk-error", step, chunk_id):
+        raise FaultInjected(
+            f"injected chunk error (step {step}, chunk {chunk_id})")
+
+
 def worker_main(conn, worker_index: int) -> None:
     """Body of one pool worker process (spawn entry point)."""
     graphs = {}
@@ -123,6 +152,7 @@ def worker_main(conn, worker_index: int) -> None:
     app: Optional[SamplingApp] = None
     seed = 0
     use_reference = False
+    plan = None
     while True:
         try:
             msg = conn.recv()
@@ -140,7 +170,8 @@ def worker_main(conn, worker_index: int) -> None:
                 # or OOM kill would.
                 os._exit(17)
             elif kind == "run":
-                _, blob, handle, seed, use_reference = msg
+                _, blob, handle, seed, use_reference, fault_spec = msg
+                plan = FaultPlan.parse(fault_spec)
                 app = pickle.loads(blob)
                 if handle.key not in graphs:
                     graphs[handle.key] = import_graph(handle)
@@ -148,6 +179,7 @@ def worker_main(conn, worker_index: int) -> None:
                 conn.send(("ready",))
             elif kind == "ichunk":
                 _, chunk_id, step, key, vals, prev, roots_rows = msg
+                _injected_faults(plan, conn, step, chunk_id)
                 t0 = time.monotonic()
                 rng = generator_for(seed, key)
                 stub = StubBatch(roots_rows, 0 if roots_rows is None
@@ -159,8 +191,12 @@ def worker_main(conn, worker_index: int) -> None:
                     use_reference=use_reference)
                 conn.send(("ok", chunk_id, sampled, info,
                            (worker_index, t0, time.monotonic())))
+                if plan is not None and plan.should(
+                        "kill-after-chunk", step, chunk_id):
+                    os._exit(13)
             elif kind == "cchunk":
                 _, chunk_id, step, key, vals, offs, transits = msg
+                _injected_faults(plan, conn, step, chunk_id)
                 t0 = time.monotonic()
                 rng = generator_for(seed, key)
                 stub = StubBatch(None, transits.shape[0])
@@ -169,6 +205,9 @@ def worker_main(conn, worker_index: int) -> None:
                     use_reference=use_reference)
                 conn.send(("ok", chunk_id, vertices, info,
                            (worker_index, t0, time.monotonic())))
+                if plan is not None and plan.should(
+                        "kill-after-chunk", step, chunk_id):
+                    os._exit(13)
             else:
                 conn.send(("err", None,
                            f"unknown message kind {kind!r}"))

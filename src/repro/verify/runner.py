@@ -31,12 +31,18 @@ def _fuzz(workers, seed):
     return run_fuzz_checks(workers=workers, seed=seed)
 
 
+def _chaos(workers, seed):
+    from repro.verify.chaos import run_chaos_checks
+    return run_chaos_checks(workers=workers, seed=seed)
+
+
 #: suite name -> runner(workers, seed) -> [CheckResult]
 SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
     "stat": _stat,
     "diff": _diff,
     "golden": _golden,
     "fuzz": _fuzz,
+    "chaos": _chaos,
 }
 
 SUITE_NAMES: Tuple[str, ...] = tuple(SUITES)

@@ -1,0 +1,173 @@
+"""Checkpoint/resume (repro.runtime.checkpoint).
+
+The acceptance criterion under test: a run interrupted partway and
+resumed with ``--resume`` reproduces the uninterrupted run's samples
+hash-for-hash, and mismatched state (different seed, graph, app, chunk
+layout) can never be replayed into the wrong run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import DeepWalk, KHop
+from repro.api.types import StepInfo
+from repro.core.engine import NextDoorEngine
+from repro.obs import get_metrics
+from repro.runtime.checkpoint import (
+    CheckpointStore,
+    graph_digest,
+    run_fingerprint,
+)
+from repro.runtime.faults import FaultInjected, PLAN_ENV
+from repro.runtime.rngplan import RNGPlan
+
+CHUNK = 64
+
+
+def _run(graph, ckpt=None, resume=False, workers=0, seed=11):
+    engine = NextDoorEngine(workers=workers, chunk_size=CHUNK,
+                            checkpoint_dir=ckpt, resume=resume)
+    return engine.run(DeepWalk(walk_length=12), graph,
+                      num_samples=256, seed=seed)
+
+
+class TestStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "fp0", resume=True)
+        data = np.arange(12, dtype=np.int64).reshape(3, 4)
+        info = StepInfo(avg_compute_cycles=42.0)
+        store.save("i", (0,), 2, 5, data, info)
+        loaded = store.load("i", (0,), 2, 5)
+        assert loaded is not None
+        got_data, got_info = loaded
+        assert np.array_equal(got_data, data)
+        assert got_info.avg_compute_cycles == 42.0
+
+    def test_missing_chunk_is_cache_miss(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "fp0", resume=True)
+        assert store.load("i", (), 0, 0) is None
+
+    def test_corrupt_file_is_cache_miss(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "fp0", resume=True)
+        data = np.arange(4, dtype=np.int64)
+        store.save("c", (), 1, 3, data, StepInfo())
+        path = store._path("c", (), 1, 3)
+        with open(path, "wb") as fh:
+            fh.write(b"not an npz file")
+        assert store.load("c", (), 1, 3) is None
+
+    def test_namespaces_do_not_collide(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "fp0", resume=True)
+        store.save("i", (0,), 0, 0, np.array([1]), StepInfo())
+        store.save("i", (1,), 0, 0, np.array([2]), StepInfo())
+        a, _ = store.load("i", (0,), 0, 0)
+        b, _ = store.load("i", (1,), 0, 0)
+        assert a[0] == 1 and b[0] == 2
+
+
+class TestFingerprint:
+    def test_sensitive_to_every_input(self, medium_weighted,
+                                      medium_graph):
+        plan = RNGPlan(11, chunk_pairs=CHUNK)
+        roots = np.arange(8, dtype=np.int64).reshape(8, 1)
+        base = run_fingerprint(DeepWalk(walk_length=12),
+                               medium_weighted, 11, plan, roots, False)
+        variants = [
+            run_fingerprint(DeepWalk(walk_length=13), medium_weighted,
+                            11, plan, roots, False),
+            run_fingerprint(KHop(fanouts=(4,)), medium_weighted, 11,
+                            plan, roots, False),
+            run_fingerprint(DeepWalk(walk_length=12), medium_graph, 11,
+                            plan, roots, False),
+            run_fingerprint(DeepWalk(walk_length=12), medium_weighted,
+                            12, plan, roots, False),
+            run_fingerprint(DeepWalk(walk_length=12), medium_weighted,
+                            11, RNGPlan(11, chunk_pairs=32), roots,
+                            False),
+            run_fingerprint(DeepWalk(walk_length=12), medium_weighted,
+                            11, plan, roots[:4], False),
+            run_fingerprint(DeepWalk(walk_length=12), medium_weighted,
+                            11, plan, roots, True),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_unpicklable_app_still_fingerprints(self, medium_weighted):
+        app = DeepWalk(walk_length=4)
+        app.hook = lambda: None  # closures don't pickle
+        plan = RNGPlan(0, chunk_pairs=CHUNK)
+        roots = np.zeros((2, 1), dtype=np.int64)
+        fp = run_fingerprint(app, medium_weighted, 0, plan, roots, False)
+        assert len(fp) == 32
+
+    def test_graph_digest_cached_and_content_keyed(self, medium_weighted,
+                                                   medium_graph):
+        d1 = graph_digest(medium_weighted)
+        assert graph_digest(medium_weighted) == d1  # cached
+        assert graph_digest(medium_graph) != d1
+
+
+class TestResume:
+    def test_interrupted_run_resumes_bitwise_identically(
+            self, medium_weighted, tmp_path, monkeypatch):
+        expected = _run(medium_weighted)
+        ckpt = str(tmp_path / "ckpt")
+
+        monkeypatch.setenv(PLAN_ENV, "interrupt-step:2")
+        with pytest.raises(FaultInjected, match="step 2"):
+            _run(medium_weighted, ckpt=ckpt)
+        monkeypatch.delenv(PLAN_ENV)
+
+        loaded = get_metrics().counter("checkpoint.chunks_loaded")
+        before = loaded.value
+        resumed = _run(medium_weighted, ckpt=ckpt, resume=True)
+        assert loaded.value > before
+        assert np.array_equal(expected.batch.roots, resumed.batch.roots)
+        for a, b in zip(expected.batch.step_vertices,
+                        resumed.batch.step_vertices):
+            assert np.array_equal(a, b)
+        assert expected.seconds == resumed.seconds
+
+    def test_resume_ignores_other_runs_state(self, medium_weighted,
+                                             tmp_path):
+        """A checkpoint written under seed 11 must not leak into a
+        seed-12 resume: different fingerprint, different directory."""
+        ckpt = str(tmp_path / "ckpt")
+        _run(medium_weighted, ckpt=ckpt, seed=11)
+        loaded = get_metrics().counter("checkpoint.chunks_loaded")
+        before = loaded.value
+        other = _run(medium_weighted, ckpt=ckpt, resume=True, seed=12)
+        assert loaded.value == before  # nothing reused
+        clean = _run(medium_weighted, seed=12)
+        for a, b in zip(clean.batch.step_vertices,
+                        other.batch.step_vertices):
+            assert np.array_equal(a, b)
+
+    def test_checkpoint_without_resume_never_loads(self, medium_weighted,
+                                                   tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        _run(medium_weighted, ckpt=ckpt)
+        loaded = get_metrics().counter("checkpoint.chunks_loaded")
+        before = loaded.value
+        again = _run(medium_weighted, ckpt=ckpt)  # resume=False
+        assert loaded.value == before
+        expected = _run(medium_weighted)
+        for a, b in zip(expected.batch.step_vertices,
+                        again.batch.step_vertices):
+            assert np.array_equal(a, b)
+
+    def test_resumed_pooled_run_matches(self, medium_weighted, tmp_path,
+                                        monkeypatch):
+        """Interrupt an in-process checkpoint run, resume on the worker
+        pool: restored chunks + pooled chunks still assemble the exact
+        batch."""
+        expected = _run(medium_weighted)
+        ckpt = str(tmp_path / "ckpt")
+        monkeypatch.setenv(PLAN_ENV, "interrupt-step:1")
+        with pytest.raises(FaultInjected):
+            _run(medium_weighted, ckpt=ckpt)
+        monkeypatch.delenv(PLAN_ENV)
+        resumed = _run(medium_weighted, ckpt=ckpt, resume=True,
+                       workers=2)
+        for a, b in zip(expected.batch.step_vertices,
+                        resumed.batch.step_vertices):
+            assert np.array_equal(a, b)

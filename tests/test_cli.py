@@ -155,6 +155,66 @@ class TestSample:
         assert code == 2
 
 
+class TestResilienceFlags:
+    def test_bad_pool_timeout_rejected(self):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "8",
+                             "--pool-timeout", "0"])
+        assert code == 2
+        assert "--pool-timeout" in out
+
+    def test_pool_timeout_env_is_scoped_to_the_command(self):
+        import os
+        from repro.runtime.pool import TIMEOUT_ENV
+        assert TIMEOUT_ENV not in os.environ
+        code, _ = run_cli(["sample", "--app", "DeepWalk",
+                           "--graph", "ppi", "--samples", "8",
+                           "--pool-timeout", "33.5"])
+        assert code == 0
+        assert TIMEOUT_ENV not in os.environ
+
+    def test_bad_fault_plan_rejected(self):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "8",
+                             "--fault-plan", "explode-now:3"])
+        assert code == 2
+        assert "unknown fault" in out
+
+    def test_resume_requires_checkpoint(self):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "8",
+                             "--resume"])
+        assert code == 2
+        assert "--checkpoint" in out
+
+    def test_checkpoint_rejected_for_standalone_engines(self, tmp_path):
+        code, out = run_cli(["sample", "--app", "DeepWalk",
+                             "--graph", "ppi", "--samples", "8",
+                             "--engine", "knightking",
+                             "--checkpoint", str(tmp_path / "ck")])
+        assert code == 2
+        assert "--checkpoint" in out
+
+    def test_interrupt_then_resume_reproduces_samples(self, tmp_path):
+        clean = str(tmp_path / "clean.npz")
+        resumed = str(tmp_path / "resumed.npz")
+        ckpt = str(tmp_path / "ckpt")
+        base = ["sample", "--app", "DeepWalk", "--graph", "ppi",
+                "--samples", "64", "--seed", "3"]
+        code, _ = run_cli(base + ["--out", clean])
+        assert code == 0
+        code, out = run_cli(base + ["--checkpoint", ckpt,
+                                    "--fault-plan", "interrupt-step:2"])
+        assert code == 1
+        assert "--resume" in out  # the error says how to continue
+        code, _ = run_cli(base + ["--checkpoint", ckpt, "--resume",
+                                  "--out", resumed])
+        assert code == 0
+        a, b = np.load(clean), np.load(resumed)
+        assert np.array_equal(a["samples"], b["samples"])
+        assert np.array_equal(a["roots"], b["roots"])
+
+
 class TestCompare:
     def test_table_printed(self):
         code, out = run_cli(["compare", "--apps", "k-hop",

@@ -1,0 +1,125 @@
+"""Fault-plan grammar and activation (repro.runtime.faults)."""
+
+import pytest
+
+from repro.runtime.faults import (
+    FAULT_NAMES,
+    PLAN_ENV,
+    FaultPlan,
+    active_plan,
+)
+
+
+class TestParse:
+    def test_none_and_blank_parse_to_none(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("") is None
+        assert FaultPlan.parse("  ,  ") is None
+
+    def test_simple_spec(self):
+        plan = FaultPlan.parse("kill-before-chunk:3")
+        assert len(plan.specs) == 1
+        spec = plan.specs[0]
+        assert spec.name == "kill-before-chunk"
+        assert spec.arg == (3,)
+        assert spec.remaining == 1
+        assert plan.spec == "kill-before-chunk:3"
+
+    def test_step_dot_chunk_arg(self):
+        plan = FaultPlan.parse("kill-after-chunk:2.5")
+        assert plan.specs[0].arg == (2, 5)
+
+    def test_times_field(self):
+        assert FaultPlan.parse("pipe-eof:1:4").specs[0].remaining == 4
+        assert FaultPlan.parse("pipe-eof:1:*").specs[0].remaining is None
+
+    def test_multiple_specs(self):
+        plan = FaultPlan.parse("kill-before-chunk:1, chunk-error:0.2")
+        assert [s.name for s in plan.specs] == ["kill-before-chunk",
+                                                "chunk-error"]
+
+    def test_argless_parent_faults(self):
+        for name in ("shm-export-fail", "broadcast-fail",
+                     "unpicklable-app"):
+            plan = FaultPlan.parse(name)
+            assert plan.specs[0].arg == ()
+
+    def test_unknown_name_rejected_loudly(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            FaultPlan.parse("kill-worker:3")
+
+    def test_missing_required_arg_rejected(self):
+        with pytest.raises(ValueError, match="needs an arg"):
+            FaultPlan.parse("kill-before-chunk")
+
+    def test_bad_arg_rejected(self):
+        with pytest.raises(ValueError, match="STEP.CHUNK"):
+            FaultPlan.parse("kill-before-chunk:x")
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultPlan.parse("pipe-eof:1:zero")
+        with pytest.raises(ValueError, match="times"):
+            FaultPlan.parse("pipe-eof:1:0")
+
+    def test_too_many_fields_rejected(self):
+        with pytest.raises(ValueError, match="too many"):
+            FaultPlan.parse("pipe-eof:1:2:3")
+
+    def test_every_fault_name_parses(self):
+        for name in FAULT_NAMES:
+            spec = name if name in ("shm-export-fail", "broadcast-fail",
+                                    "unpicklable-app") else f"{name}:0"
+            assert FaultPlan.parse(spec) is not None
+
+
+class TestShould:
+    def test_chunk_arg_matches_any_step(self):
+        plan = FaultPlan.parse("kill-before-chunk:4:*")
+        assert plan.should("kill-before-chunk", 0, 4)
+        assert plan.should("kill-before-chunk", 7, 4)
+        assert not plan.should("kill-before-chunk", 0, 5)
+
+    def test_step_chunk_arg_matches_exactly(self):
+        plan = FaultPlan.parse("kill-before-chunk:2.4:*")
+        assert not plan.should("kill-before-chunk", 0, 4)
+        assert plan.should("kill-before-chunk", 2, 4)
+
+    def test_times_budget_is_consumed(self):
+        plan = FaultPlan.parse("chunk-error:1:2")
+        assert plan.should("chunk-error", 0, 1)
+        assert plan.should("chunk-error", 1, 1)
+        assert not plan.should("chunk-error", 2, 1)
+
+    def test_unbounded_budget_never_exhausts(self):
+        plan = FaultPlan.parse("chunk-error:1:*")
+        for step in range(10):
+            assert plan.should("chunk-error", step, 1)
+
+    def test_wrong_name_never_fires(self):
+        plan = FaultPlan.parse("chunk-error:1")
+        assert not plan.should("pipe-eof", 0, 1)
+
+    def test_argless_spec_matches_any_point(self):
+        plan = FaultPlan.parse("unpicklable-app")
+        assert plan.should("unpicklable-app")
+        assert not plan.should("unpicklable-app")  # budget spent
+
+
+class TestActivePlan:
+    def test_unset_env_gives_none(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV, raising=False)
+        assert active_plan() is None
+
+    def test_env_activates_with_fresh_budgets(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV, "chunk-error:3")
+        first = active_plan()
+        assert first.should("chunk-error", 0, 3)
+        assert not first.should("chunk-error", 0, 3)
+        # A fresh parse has a fresh budget.
+        assert active_plan().should("chunk-error", 0, 3)
+
+    def test_malformed_env_raises(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV, "not-a-fault")
+        with pytest.raises(ValueError):
+            active_plan()
