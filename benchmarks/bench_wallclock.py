@@ -34,10 +34,20 @@ per-stage breakdown per workload (span totals from ``repro.obs``) and
 the disabled-tracer overhead measurement that guards the <2%
 instrumentation contract (``--no-stages`` skips both).
 
+``--backend {auto,numpy,numba,cnative}`` runs the grid under a kernel
+backend (recorded in the report metadata together with the numba
+version); a report taken with one backend refuses to overwrite a
+trajectory file taken with another unless ``--force`` is passed, so
+BENCH_wallclock.json stays an apples-to-apples series.  A numpy vs
+compiled per-stage speedup table is appended when a fast compiled
+backend exists on the host (``--no-backend-compare`` skips it).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py            # full
     PYTHONPATH=src python benchmarks/bench_wallclock.py --quick    # smoke
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --backend cnative --force                                  # compiled
     PYTHONPATH=src python benchmarks/bench_wallclock.py \
         --output benchmarks/results/wallclock_pre_pr.json          # rebase
 
@@ -69,10 +79,17 @@ from repro.baselines import (  # noqa: E402
 )
 from repro.core.engine import NextDoorEngine  # noqa: E402
 from repro.graph import datasets  # noqa: E402
+from repro.native.backend import (  # noqa: E402
+    BACKEND_NAMES,
+    available_backends,
+    backend_scope,
+    resolve_backend_name,
+)
+from repro.native.jit import HAVE_NUMBA, NUMBA_VERSION  # noqa: E402
 from repro.obs import stats_summary, trace  # noqa: E402
 from repro.runtime import DEFAULT_CHUNK_PAIRS  # noqa: E402
 
-__all__ = ["run_wallclock", "run_stage_breakdown",
+__all__ = ["run_wallclock", "run_stage_breakdown", "run_backend_comparison",
            "measure_tracer_overhead", "main"]
 
 #: Default output path — the repo-root perf trajectory file.
@@ -122,22 +139,25 @@ def _time_run(engine, app_factory: Callable, graph, num_samples: int,
 
 def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
                   seed: int = 7, workers: int = 0,
-                  chunk_size: Optional[int] = None) -> Dict:
+                  chunk_size: Optional[int] = None,
+                  backend: Optional[str] = None) -> Dict:
     """Run the full workload × engine grid; returns the result dict."""
     repeats = repeats if repeats is not None else (1 if quick else 3)
+    backend = resolve_backend_name(backend)
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for wl_name, app_factory, weighted, full_n, quick_n in WORKLOADS:
-        num_samples = quick_n if quick else full_n
-        graph = datasets.load(GRAPH, weighted=weighted)
-        results[wl_name] = {}
-        for eng_name, eng_cls in ENGINES:
-            engine = eng_cls(workers=workers, chunk_size=chunk_size)
-            cell = _time_run(engine, app_factory, graph, num_samples,
-                             repeats, seed=seed)
-            results[wl_name][eng_name] = cell
-            print(f"{wl_name:>14s} | {eng_name:<14s} "
-                  f"{cell['seconds']*1e3:9.1f} ms  "
-                  f"({cell['samples_per_sec']:,.0f} samples/s)")
+    with backend_scope(backend) as active:
+        for wl_name, app_factory, weighted, full_n, quick_n in WORKLOADS:
+            num_samples = quick_n if quick else full_n
+            graph = datasets.load(GRAPH, weighted=weighted)
+            results[wl_name] = {}
+            for eng_name, eng_cls in ENGINES:
+                engine = eng_cls(workers=workers, chunk_size=chunk_size)
+                cell = _time_run(engine, app_factory, graph, num_samples,
+                                 repeats, seed=seed)
+                results[wl_name][eng_name] = cell
+                print(f"{wl_name:>14s} | {eng_name:<14s} "
+                      f"{cell['seconds']*1e3:9.1f} ms  "
+                      f"({cell['samples_per_sec']:,.0f} samples/s)")
     return {
         "graph": GRAPH,
         "mode": "quick" if quick else "full",
@@ -145,6 +165,8 @@ def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
         "seed": seed,
         "workers": int(workers),
         "chunk_size": int(chunk_size or DEFAULT_CHUNK_PAIRS),
+        "backend": active.name,
+        "numba": NUMBA_VERSION,
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -169,31 +191,96 @@ def _git_sha() -> Optional[str]:
 
 
 def run_stage_breakdown(quick: bool = False, seed: int = 7,
-                        workers: int = 0) -> Dict:
+                        workers: int = 0,
+                        backend: Optional[str] = None) -> Dict:
     """Per-stage wall-clock attribution of one traced NextDoor run per
     workload (span totals by name, in seconds) — the host-side analogue
     of the paper's Table 4 / Figure 8 stage attribution."""
     breakdown: Dict[str, Dict] = {}
-    for wl_name, app_factory, weighted, full_n, quick_n in WORKLOADS:
-        num_samples = quick_n if quick else full_n
-        graph = datasets.load(GRAPH, weighted=weighted)
-        engine = NextDoorEngine(workers=workers)
-        engine.run(app_factory(), graph, num_samples=num_samples,
-                   seed=seed)  # warm-up, untraced
-        tracer = trace.enable()
-        try:
+    with backend_scope(resolve_backend_name(backend)):
+        for wl_name, app_factory, weighted, full_n, quick_n in WORKLOADS:
+            num_samples = quick_n if quick else full_n
+            graph = datasets.load(GRAPH, weighted=weighted)
+            engine = NextDoorEngine(workers=workers)
             engine.run(app_factory(), graph, num_samples=num_samples,
-                       seed=seed)
-            spans = stats_summary(tracer=tracer)["spans"]
-        finally:
-            trace.disable()
-        breakdown[wl_name] = {
-            name: agg["total_s"] for name, agg in spans.items()}
-        top = sorted(((s, n) for n, s in breakdown[wl_name].items()
-                      if n not in ("run", "step")), reverse=True)[:3]
-        print(f"{wl_name:>14s} | stages  "
-              + "  ".join(f"{n}={s * 1e3:.1f}ms" for s, n in top))
+                       seed=seed)  # warm-up, untraced
+            tracer = trace.enable()
+            try:
+                engine.run(app_factory(), graph, num_samples=num_samples,
+                           seed=seed)
+                spans = stats_summary(tracer=tracer)["spans"]
+            finally:
+                trace.disable()
+            breakdown[wl_name] = {
+                name: agg["total_s"] for name, agg in spans.items()}
+            top = sorted(((s, n) for n, s in breakdown[wl_name].items()
+                          if n not in ("run", "step")), reverse=True)[:3]
+            print(f"{wl_name:>14s} | stages  "
+                  + "  ".join(f"{n}={s * 1e3:.1f}ms" for s, n in top))
     return breakdown
+
+
+#: Kernel-bearing spans scored in the backend comparison (charge_model
+#: is modeled-accounting bookkeeping, identical across backends).
+_COMPARED_STAGES = ("scheduling_index", "individual_kernels",
+                    "collective_kernels")
+
+
+def _fast_compiled_backend() -> Optional[str]:
+    """The compiled backend worth timing on this host: numba when the
+    JIT is importable, else the C backend when a toolchain exists.
+    Interpreted numba is parity-only — benchmarking it is meaningless."""
+    avail = available_backends()
+    if HAVE_NUMBA and "numba" in avail:
+        return "numba"
+    if "cnative" in avail:
+        return "cnative"
+    return None
+
+
+def run_backend_comparison(quick: bool = False, seed: int = 7,
+                           compiled: Optional[str] = None) -> Dict:
+    """numpy vs compiled-backend table: total + per-stage speedups per
+    workload, from traced in-process NextDoor runs (samples are bitwise
+    identical across backends, so only wall-clock differs)."""
+    compiled = compiled or _fast_compiled_backend()
+    if compiled is None:
+        note = ("no fast compiled backend on this host (numba not "
+                "installed, no C toolchain); parity still covered by "
+                "`repro verify --suite native`")
+        print(f"backend comparison skipped: {note}")
+        return {"skipped": note}
+    per_backend = {
+        name: run_stage_breakdown(quick=quick, seed=seed, backend=name)
+        for name in ("numpy", compiled)}
+    comparison: Dict[str, Dict] = {}
+    for wl_name, _, _, _, _ in WORKLOADS:
+        base = per_backend["numpy"][wl_name]
+        comp = per_backend[compiled][wl_name]
+        cell = {
+            "numpy_run_seconds": base.get("run", 0.0),
+            f"{compiled}_run_seconds": comp.get("run", 0.0),
+            "run_speedup": (base.get("run", 0.0) / comp["run"]
+                            if comp.get("run") else float("nan")),
+            "stages": {},
+        }
+        for stage in _COMPARED_STAGES:
+            b, c = base.get(stage), comp.get(stage)
+            if b is None or not c:
+                continue
+            cell["stages"][stage] = {
+                "numpy_seconds": b,
+                f"{compiled}_seconds": c,
+                "speedup": b / c,
+            }
+        comparison[wl_name] = cell
+        stages = "  ".join(
+            f"{st}={v['speedup']:.2f}x"
+            for st, v in cell["stages"].items())
+        print(f"{wl_name:>14s} | {compiled} vs numpy  "
+              f"run={cell['run_speedup']:.2f}x  {stages}")
+    return {"compiled_backend": compiled, "numba": NUMBA_VERSION,
+            "results": comparison}
 
 
 def measure_tracer_overhead() -> Dict[str, float]:
@@ -257,6 +344,8 @@ def _attach_speedups(report: Dict, baseline_path: str) -> None:
         return  # quick runs aren't comparable to full baselines
     if baseline.get("workers", 0) != report.get("workers", 0):
         return  # pooled runs aren't comparable to in-process baselines
+    if baseline.get("backend", "numpy") != report.get("backend", "numpy"):
+        return  # cross-backend ratios belong in backend_comparison
     speedups: Dict[str, Dict[str, float]] = {}
     for wl, engines in report["results"].items():
         base_wl = baseline.get("results", {}).get(wl, {})
@@ -293,26 +382,53 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--chunk-size", type=int, default=None,
                         help="RNG-plan chunk size in transit pairs "
                              f"(default {DEFAULT_CHUNK_PAIRS})")
+    parser.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                        help="kernel backend for the grid (overrides "
+                             "$REPRO_BACKEND; default numpy); recorded "
+                             "in the report metadata")
+    parser.add_argument("--force", action="store_true",
+                        help="allow overwriting an output file recorded "
+                             "with a different kernel backend")
     parser.add_argument("--no-multicore", action="store_true",
                         help="skip the workers=0 vs workers=4 comparison")
     parser.add_argument("--no-stages", action="store_true",
                         help="skip the traced per-stage breakdown")
+    parser.add_argument("--no-backend-compare", action="store_true",
+                        help="skip the numpy vs compiled-backend table")
     args = parser.parse_args(argv)
 
     out_dir = os.path.dirname(os.path.abspath(args.output))
     if not os.path.isdir(out_dir):
         parser.error(f"output directory does not exist: {out_dir}")
 
+    resolved = resolve_backend_name(args.backend)
+    if resolved == "auto":   # mirror _resolve_auto, pre-flight
+        resolved = "numba" if HAVE_NUMBA else "numpy"
+    prior_backend = _recorded_backend(args.output)
+    if (prior_backend is not None and prior_backend != resolved
+            and not args.force):
+        print(f"error: {args.output} was recorded with backend "
+              f"{prior_backend!r}, this run would use {resolved!r}; "
+              f"the perf trajectory would silently mix backends. "
+              f"Pass --force to overwrite, or --output elsewhere.",
+              file=sys.stderr)
+        return 2
+
     report = run_wallclock(quick=args.quick, repeats=args.repeats,
                            seed=args.seed, workers=args.workers,
-                           chunk_size=args.chunk_size)
+                           chunk_size=args.chunk_size,
+                           backend=args.backend)
     if not args.no_multicore:
         report["multicore"] = run_multicore(quick=args.quick,
                                             seed=args.seed)
     if not args.no_stages:
         report["stage_breakdown"] = run_stage_breakdown(
-            quick=args.quick, seed=args.seed, workers=args.workers)
+            quick=args.quick, seed=args.seed, workers=args.workers,
+            backend=args.backend)
         report["tracer_overhead"] = measure_tracer_overhead()
+    if not args.no_backend_compare:
+        report["backend_comparison"] = run_backend_comparison(
+            quick=args.quick, seed=args.seed)
     if os.path.abspath(args.output) != os.path.abspath(args.baseline):
         _attach_speedups(report, args.baseline)
     with open(args.output, "w") as f:
@@ -320,6 +436,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         f.write("\n")
     print(f"wrote {args.output}")
     return 0
+
+
+def _recorded_backend(path: str) -> Optional[str]:
+    """The kernel backend an existing report at ``path`` was taken
+    with (``"numpy"`` for pre-backend reports), or ``None`` when no
+    readable report exists there."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as f:
+            return json.load(f).get("backend", "numpy")
+    except (OSError, ValueError):
+        return None
 
 
 def test_wallclock_smoke(tmp_path):
@@ -331,6 +460,7 @@ def test_wallclock_smoke(tmp_path):
             assert cell["steps_run"] > 0, (wl, eng)
     assert report["numpy"] == np.__version__
     assert report["platform"]
+    assert report["backend"] == "numpy"
     report["stage_breakdown"] = run_stage_breakdown(quick=True)
     for wl, spans in report["stage_breakdown"].items():
         assert spans.get("run", 0) > 0, wl
@@ -338,6 +468,30 @@ def test_wallclock_smoke(tmp_path):
     out = tmp_path / "BENCH_wallclock.json"
     out.write_text(json.dumps(report))
     assert json.loads(out.read_text())["results"]
+
+
+def test_backend_overwrite_guard(tmp_path, capsys):
+    """A trajectory file is never silently overwritten by a run taken
+    with a different kernel backend."""
+    out = tmp_path / "BENCH_wallclock.json"
+    out.write_text(json.dumps({"backend": "cnative", "results": {}}))
+    code = main(["--quick", "--repeats", "1", "--no-multicore",
+                 "--no-stages", "--no-backend-compare",
+                 "--backend", "numpy", "--output", str(out)])
+    assert code == 2
+    assert "recorded with backend 'cnative'" in capsys.readouterr().err
+    assert json.loads(out.read_text())["results"] == {}  # untouched
+    code = main(["--quick", "--repeats", "1", "--no-multicore",
+                 "--no-stages", "--no-backend-compare",
+                 "--backend", "numpy", "--output", str(out), "--force"])
+    assert code == 0
+    assert json.loads(out.read_text())["backend"] == "numpy"
+    # Legacy reports (no backend key) count as numpy: no guard trip.
+    out.write_text(json.dumps({"results": {}}))
+    code = main(["--quick", "--repeats", "1", "--no-multicore",
+                 "--no-stages", "--no-backend-compare",
+                 "--output", str(out)])
+    assert code == 0
 
 
 if __name__ == "__main__":

@@ -27,6 +27,14 @@ __all__ = [
 ]
 
 
+def _backend():
+    """The process-wide kernel backend (``repro.native``); its hooks
+    return ``None`` to select the numpy code below, with bitwise-
+    identical draws either way."""
+    from repro.native.backend import active_backend
+    return active_backend()
+
+
 def uniform_neighbors(graph: CSRGraph, transits: np.ndarray, m: int,
                       rng: np.random.Generator) -> np.ndarray:
     """Choose ``m`` uniform neighbors (with replacement) per transit.
@@ -34,6 +42,9 @@ def uniform_neighbors(graph: CSRGraph, transits: np.ndarray, m: int,
     Returns ``(K, m)``; NULL transits and zero-degree transits yield
     NULL rows.
     """
+    native = _backend().uniform_neighbors(graph, transits, m, rng)
+    if native is not None:
+        return native
     transits = np.asarray(transits, dtype=np.int64)
     live = transits != NULL_VERTEX
     if m == 0 or not live.any():
@@ -102,6 +113,9 @@ def weighted_neighbors(graph: CSRGraph, transits: np.ndarray, m: int,
     each row's weight prefix sum."""
     if not graph.is_weighted:
         return uniform_neighbors(graph, transits, m, rng)
+    native = _backend().weighted_neighbors(graph, transits, m, rng)
+    if native is not None:
+        return native
     transits = np.asarray(transits, dtype=np.int64)
     live = transits != NULL_VERTEX
     if m == 0 or not live.any():
@@ -150,6 +164,9 @@ def segment_uniform_choice(values: np.ndarray, offsets: np.ndarray, m: int,
     segment ``values[offsets[s]:offsets[s+1]]``; empty segments yield
     NULL rows.  Used by collective sampling over combined
     neighborhoods."""
+    native = _backend().segment_choice(values, offsets, m, rng)
+    if native is not None:
+        return native
     num_segments = offsets.size - 1
     out = np.full((num_segments, m), NULL_VERTEX, dtype=np.int64)
     sizes = np.diff(offsets)

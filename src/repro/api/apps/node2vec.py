@@ -114,6 +114,15 @@ class Node2Vec(SamplingApp):
         sample_ids: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, StepInfo]:
         transits = np.asarray(transits, dtype=np.int64)
+        from repro.api.apps._kernels import _backend
+        native = _backend().node2vec_neighbors(
+            graph, transits, prev_transits, self.p, self.q,
+            self.MAX_ROUNDS, rng)
+        if native is not None:
+            out, eligible, proposals, probes = native
+            if eligible == 0:
+                return out, StepInfo()
+            return out, self._step_info(eligible, proposals, probes)
         out = np.full((transits.size, 1), NULL_VERTEX, dtype=np.int64)
         live = transits != NULL_VERTEX
         if not live.any():
@@ -178,19 +187,26 @@ class Node2Vec(SamplingApp):
             pending = pending[~accept]
 
         out[live_idx, 0] = accepted
-        avg_rounds = total_proposals / max(1, t_cur.size)
-        probes_per_vertex = total_probes / max(1, t_cur.size)
+        return out, self._step_info(t_cur.size, total_proposals,
+                                    total_probes)
+
+    def _step_info(self, eligible: int, total_proposals: int,
+                   total_probes: int) -> StepInfo:
+        """Modeled charges from the kernel's observed work counts —
+        shared by the numpy and compiled paths so identical counts
+        yield identical charges."""
+        avg_rounds = total_proposals / max(1, eligible)
+        probes_per_vertex = total_probes / max(1, eligible)
         # Each probe is a binary search over the previous transit's
         # adjacency list in *global* memory: its touches cluster within
         # one row (~2 distinct sectors), but the rows themselves are
         # uncacheable under transit grouping — extra scattered reads
         # for every engine — and the accept/reject loop is a divergent
         # branch.
-        info = StepInfo(
+        return StepInfo(
             avg_compute_cycles=10.0 * avg_rounds,
             divergence_fraction=min(1.0, avg_rounds - 1.0 + 0.2),
             divergence_cycles=12.0,
             extra_global_reads_per_vertex=probes_per_vertex * 2.0,
             neighbor_reads_per_vertex=avg_rounds,
         )
-        return out, info

@@ -57,6 +57,24 @@ ENGINES = {
 }
 
 
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    """Kernel-backend selection shared by sample|compare|verify.
+
+    Precedence (docs/CLI.md): the flag wins over ``$REPRO_BACKEND``,
+    which wins over the ``numpy`` default.  Samples are
+    bitwise-identical across backends; only speed changes.
+    """
+    from repro.native.backend import BACKEND_NAMES
+    p.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                   help="kernel backend: numpy (vectorised, default), "
+                        "numba (compiled, needs `pip install "
+                        ".[native]`), cnative (embedded C via the host "
+                        "compiler), or auto (numba if importable, else "
+                        "numpy with a one-time warning); "
+                        "$REPRO_BACKEND sets the default — samples are "
+                        "bitwise-identical on every backend")
+
+
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     """Tracing/metrics flags shared by sample|compare|bench."""
     p.add_argument("--trace", metavar="PATH", default=None,
@@ -100,12 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pool-timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="worker-pool watchdog: respawn workers that "
-                        "make no progress for this long (default 120; "
-                        "$REPRO_POOL_TIMEOUT does the same)")
+                        "make no progress for this long (default 120). "
+                        "Only affects pooled runs (--workers >= 1); "
+                        "overrides $REPRO_POOL_TIMEOUT for this "
+                        "command (see docs/CLI.md)")
     p.add_argument("--fault-plan", default=None, metavar="PLAN",
                    help="deterministic fault injection, e.g. "
                         "'kill-after-chunk:0.3' (see docs/RESILIENCE.md"
-                        "; $REPRO_FAULT_PLAN does the same)")
+                        "). Faults target pool workers, so the plan is "
+                        "inert without --workers >= 1; overrides "
+                        "$REPRO_FAULT_PLAN for this command; pair with "
+                        "--pool-timeout to tune how fast wedge faults "
+                        "are detected (see docs/CLI.md)")
     p.add_argument("--checkpoint", default=None, metavar="DIR",
                    help="persist completed chunk results under DIR so "
                         "an interrupted run can be resumed")
@@ -115,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "identical to uninterrupted ones)")
     p.add_argument("--out", default=None,
                    help="save samples to this .npz file")
+    _add_backend_flag(p)
     _add_obs_flags(p)
 
     p = sub.add_parser("compare",
@@ -127,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="sampling worker processes for every engine "
                         "(default 0 = in-process)")
+    _add_backend_flag(p)
     _add_obs_flags(p)
 
     p = sub.add_parser("bench", help="list the paper-experiment benchmarks")
@@ -147,7 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify",
                        help="run the verification suites (statistical, "
-                            "differential, golden, fuzz, chaos)")
+                            "differential, golden, fuzz, chaos, "
+                            "native-backend parity)")
     p.add_argument("--suite", default="all",
                    choices=["all", *verify_runner.SUITE_NAMES],
                    help="which suite to run (default: all)")
@@ -161,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="regenerate the golden fixtures from the "
                         "current implementation instead of checking "
                         "them (use with --suite golden)")
+    _add_backend_flag(p)
 
     p = sub.add_parser("train", help="train the demo GNN on sampled batches")
     p.add_argument("--graph", default="ppi", choices=sorted(datasets.SPECS))
@@ -477,7 +505,20 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "train": _cmd_train,
         "verify": _cmd_verify,
     }[args.command]
-    code = handler(args, out)
+    backend_name = getattr(args, "backend", None)
+    if backend_name is not None:
+        # Flag beats $REPRO_BACKEND (docs/CLI.md); scoped so in-process
+        # callers of main() don't inherit the selection.
+        from repro.native.backend import backend_scope
+        try:
+            with backend_scope(backend_name):
+                code = handler(args, out)
+        except RuntimeError as exc:
+            print(f"error: backend {backend_name!r} unavailable: {exc}",
+                  file=out)
+            return 2
+    else:
+        code = handler(args, out)
     if trace_path and code == 0:
         write_chrome_trace(trace_path)
         print(f"wrote trace to {trace_path} "

@@ -259,6 +259,8 @@ class NextDoorEngine:
     def _run_on_device(self, app: SamplingApp, graph, batch: SampleBatch,
                        ctx: ExecutionContext, device: Device) -> int:
         """The per-device step loop; returns steps executed."""
+        from repro.native.backend import active_backend_name
+        backend = active_backend_name()
         limit = stepper.step_limit(app)
         collective = app.sampling_type() is SamplingType.COLLECTIVE
         step = 0
@@ -267,35 +269,45 @@ class NextDoorEngine:
                                    engine=self.engine_name)
             with step_span:
                 transits = app.transits_for_step(batch, step)
-                with trace.span("scheduling_index", step=step) as idx_span:
+                with trace.span("scheduling_index", step=step,
+                                backend=backend) as idx_span:
                     tmap = build_transit_map(transits)
                     idx_span.set(pairs=tmap.num_pairs)
-                    if tmap.num_pairs:
-                        self._pre_step(device, graph, tmap, step)
-                        self._charge_index(device, tmap)
                 if tmap.num_pairs == 0:
                     break  # no live transits: every sample terminated
+                # Modeled-GPU accounting runs under its own span so the
+                # kernel spans time exactly the work a backend executes.
+                with trace.span("charge_model", step=step,
+                                phase="scheduling_index"):
+                    self._pre_step(device, graph, tmap, step)
+                    self._charge_index(device, tmap)
                 degrees = graph.degrees_array[tmap.unique_transits]
                 m = app.sample_size(step)
 
                 if collective:
-                    with trace.span("collective_kernels", step=step):
+                    with trace.span("collective_kernels", step=step,
+                                    backend=backend):
                         new_vertices, info, edges, _sizes = \
                             stepper.run_collective_step(
                                 app, graph, batch, transits, step, ctx,
                                 use_reference=self.use_reference)
+                        if edges is not None:
+                            batch.record_edges(edges)
+                    with trace.span("charge_model", step=step,
+                                    phase="sampling"):
                         self._charge_collective(
                             device, tmap, degrees, m, info,
                             batch.num_samples,
                             has_edges=edges is not None)
-                        if edges is not None:
-                            batch.record_edges(edges)
                 else:
-                    with trace.span("individual_kernels", step=step):
+                    with trace.span("individual_kernels", step=step,
+                                    backend=backend):
                         new_vertices, info = stepper.run_individual_step(
                             app, graph, batch, transits, step, ctx,
                             tmap.sample_ids, tmap.cols, tmap.transit_vals,
                             use_reference=self.use_reference)
+                    with trace.span("charge_model", step=step,
+                                    phase="sampling"):
                         self._charge_individual(device, tmap, degrees, m,
                                                 info,
                                                 weighted=graph.is_weighted)

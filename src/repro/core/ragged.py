@@ -72,5 +72,10 @@ def ragged_gather(values: np.ndarray, starts: np.ndarray,
     total = int(offsets[-1])
     if total == 0:
         return np.zeros(0, dtype=values.dtype), offsets
+    from repro.api.apps._kernels import _backend
+    native = _backend().ragged_gather(values, starts, counts, offsets,
+                                      total)
+    if native is not None:
+        return native, offsets
     src = np.repeat(starts, counts) + segment_arange(counts, offsets)
     return values[src], offsets

@@ -113,19 +113,26 @@ def build_transit_map(transits: np.ndarray) -> TransitMap:
         return TransitMap(sample_ids, cols, vals, empty, empty.copy(),
                           np.zeros(1, dtype=np.int64),
                           num_total_pairs=num_total_pairs)
-    order = _grouping_order(vals)
-    vals = vals[order]
+    from repro.api.apps._kernels import _backend
+    native = _backend().grouping(vals)
+    if native is not None:
+        order, unique_transits, counts, offsets = native
+        vals = vals[order]
+    else:
+        order = _grouping_order(vals)
+        vals = vals[order]
+        # Histogram over the rebased id range: unique transits are the
+        # non-empty buckets, offsets their exclusive prefix sum.
+        vmin = int(vals[0])
+        hist = np.bincount(vals - vmin,
+                           minlength=int(vals[-1]) - vmin + 1)
+        nonzero = np.nonzero(hist)[0]
+        unique_transits = nonzero + vmin
+        counts = hist[nonzero]
+        offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
     sample_ids = sample_ids[order]
     cols = cols[order]
-    # Histogram over the rebased id range: unique transits are the
-    # non-empty buckets, offsets their exclusive prefix sum.
-    vmin = int(vals[0])
-    hist = np.bincount(vals - vmin, minlength=int(vals[-1]) - vmin + 1)
-    nonzero = np.nonzero(hist)[0]
-    unique_transits = nonzero + vmin
-    counts = hist[nonzero]
-    offsets = np.zeros(counts.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
     return TransitMap(sample_ids, cols, vals, unique_transits,
                       counts, offsets, num_total_pairs=num_total_pairs)
 

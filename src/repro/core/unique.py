@@ -31,6 +31,10 @@ def dedupe_rows(rows: np.ndarray) -> Tuple[np.ndarray, int]:
     """NULL-out duplicate vertices within each row, keeping first
     occurrences in place.  Returns (deduped rows, number of dups)."""
     rows = np.asarray(rows)
+    from repro.api.apps._kernels import _backend
+    native = _backend().dedupe_rows(rows)
+    if native is not None:
+        return native
     out = rows.copy()
     num_dups = 0
     order = np.argsort(rows, axis=1, kind="stable")

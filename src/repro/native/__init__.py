@@ -1,0 +1,43 @@
+"""Compiled hot-path backend for the per-step sampling kernels.
+
+See :mod:`repro.native.backend` for the interface and the parity
+contract, :mod:`repro.native.kernels_py` for the kernel bodies,
+:mod:`repro.native.rngshim` for the PCG64 draw shim, and docs/PERF.md
+("Compiled backend") for usage.
+"""
+
+from repro.native.backend import (
+    BACKEND_ENV,
+    BACKEND_IDS,
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    CNativeBackend,
+    CompiledBackend,
+    KernelBackend,
+    NumbaBackend,
+    NumpyBackend,
+    active_backend,
+    active_backend_name,
+    available_backends,
+    backend_scope,
+    resolve_backend_name,
+    set_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_IDS",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "NumpyBackend",
+    "CompiledBackend",
+    "NumbaBackend",
+    "CNativeBackend",
+    "resolve_backend_name",
+    "set_backend",
+    "active_backend",
+    "active_backend_name",
+    "backend_scope",
+    "available_backends",
+]

@@ -1,0 +1,312 @@
+"""Embedded C translation of :mod:`repro.native.kernels_py`.
+
+Compiled once per host by :mod:`repro.native.cnative` (``cc -O2
+-fPIC -shared -ffp-contract=off``) and loaded via ctypes — the fast
+backend on machines that have a C toolchain but no numba wheel.
+
+The bodies are line-for-line ports of the Python kernels; every
+floating-point expression keeps the same operand order, and
+``-ffp-contract=off`` forbids FMA contraction, so results match numpy
+bit for bit.  The PCG64 step uses ``unsigned __int128`` directly
+instead of the uint64-limb arithmetic the numba bodies need.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SOURCE"]
+
+SOURCE = r"""
+#include <stdint.h>
+
+typedef unsigned __int128 u128;
+
+static const double INV53 = 1.0 / 9007199254740992.0;  /* 2^-53 */
+
+#define PCG_MULT ((((u128)0x2360ed051fc65da4ULL) << 64) | \
+                  ((u128)0x4385df649fccf645ULL))
+
+static inline uint64_t pcg_next64(u128 *state, u128 inc) {
+    *state = *state * PCG_MULT + inc;
+    uint64_t hi = (uint64_t)(*state >> 64);
+    uint64_t lo = (uint64_t)(*state);
+    uint64_t x = hi ^ lo;
+    unsigned rot = (unsigned)(*state >> 122);
+    return (x >> rot) | (x << ((64u - rot) & 63u));
+}
+
+static inline double pcg_double(u128 *state, u128 inc) {
+    return (double)(pcg_next64(state, inc) >> 11) * INV53;
+}
+
+static inline u128 pack128(const uint64_t *w) {
+    return ((u128)w[0] << 64) | (u128)w[1];
+}
+
+void repro_pcg_fill(uint64_t *s, double *out, int64_t n) {
+    u128 state = pack128(s), inc = pack128(s + 2);
+    for (int64_t i = 0; i < n; i++)
+        out[i] = pcg_double(&state, inc);
+    s[0] = (uint64_t)(state >> 64);
+    s[1] = (uint64_t)state;
+}
+
+int64_t repro_uniform_count(const int64_t *transits, int64_t n,
+                            const int64_t *degrees, int64_t null_v) {
+    int64_t count = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t t = transits[i];
+        if (t != null_v && degrees[t] > 0)
+            count++;
+    }
+    return count;
+}
+
+int64_t repro_uniform_fill(const int64_t *indptr, const int64_t *indices,
+                           const int64_t *degrees, const int64_t *transits,
+                           int64_t n, int64_t m, const double *r,
+                           int64_t *out, int64_t null_v) {
+    int64_t j = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t t = transits[i];
+        if (t == null_v)
+            continue;
+        int64_t d = degrees[t];
+        if (d <= 0)
+            continue;
+        int64_t base = indptr[t];
+        for (int64_t q = 0; q < m; q++) {
+            int64_t pick = (int64_t)(r[j] * (double)d);
+            if (pick > d - 1)
+                pick = d - 1;
+            out[i * m + q] = indices[base + pick];
+            j++;
+        }
+    }
+    return j;
+}
+
+int64_t repro_weighted_fill(const int64_t *indptr, const int64_t *indices,
+                            const int64_t *degrees, const double *cumsum,
+                            const double *row_base, const double *row_total,
+                            const int64_t *transits, int64_t n, int64_t m,
+                            int64_t count, const double *r, int64_t *out,
+                            int64_t null_v) {
+    int64_t c = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t t = transits[i];
+        if (t == null_v)
+            continue;
+        int64_t d = degrees[t];
+        if (d <= 0)
+            continue;
+        double b = row_base[t];
+        double tot = row_total[t];
+        int64_t start = indptr[t];
+        int64_t end = start + d;
+        for (int64_t q = 0; q < m; q++) {
+            double target = b + r[q * count + c] * tot;
+            int64_t lo = start, hi = end;
+            while (lo < hi) {
+                int64_t mid = (lo + hi) >> 1;
+                if (cumsum[mid] <= target)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            if (lo > end - 1)
+                lo = end - 1;
+            out[i * m + q] = indices[lo];
+        }
+        c++;
+    }
+    return c;
+}
+
+int64_t repro_segment_count(const int64_t *offsets, int64_t nseg) {
+    int64_t count = 0;
+    for (int64_t i = 0; i < nseg; i++)
+        if (offsets[i + 1] > offsets[i])
+            count++;
+    return count;
+}
+
+int64_t repro_segment_fill(const int64_t *values, const int64_t *offsets,
+                           int64_t nseg, int64_t m, const double *r,
+                           int64_t *out) {
+    int64_t j = 0;
+    for (int64_t i = 0; i < nseg; i++) {
+        int64_t lo = offsets[i];
+        int64_t size = offsets[i + 1] - lo;
+        if (size <= 0)
+            continue;
+        for (int64_t q = 0; q < m; q++) {
+            int64_t pick = (int64_t)(r[j] * (double)size);
+            if (pick > size - 1)
+                pick = size - 1;
+            out[i * m + q] = values[lo + pick];
+            j++;
+        }
+    }
+    return j;
+}
+
+void repro_node2vec_fill(const int64_t *indptr, const int64_t *indices,
+                         const double *weights, int64_t is_weighted,
+                         const int64_t *degrees, const int64_t *transits,
+                         int64_t n_transits, const int64_t *prev,
+                         int64_t has_prev, const double *row_max,
+                         double bias_env, double p, double inv_q,
+                         int64_t max_rounds, int64_t null_v, uint64_t *sw,
+                         int64_t *out, int64_t *pending, int64_t *proposal,
+                         double *bias, double *envs, double *rbuf,
+                         int64_t *counters) {
+    u128 state = pack128(sw), inc = pack128(sw + 2);
+    int64_t n = 0;
+    for (int64_t i = 0; i < n_transits; i++) {
+        int64_t t = transits[i];
+        if (t != null_v && degrees[t] > 0)
+            pending[n++] = i;
+    }
+    counters[0] = n;
+    int64_t total_proposals = 0, total_probes = 0, draws = 0, rounds = 0;
+    while (n > 0 && rounds < max_rounds) {
+        rounds++;
+        for (int64_t k = 0; k < n; k++)
+            rbuf[k] = pcg_double(&state, inc);
+        draws += n;
+        for (int64_t k = 0; k < n; k++) {
+            int64_t i = pending[k];
+            int64_t t = transits[i];
+            int64_t d = degrees[t];
+            int64_t pick = (int64_t)(rbuf[k] * (double)d);
+            if (pick > d - 1)
+                pick = d - 1;
+            int64_t pos = indptr[t] + pick;
+            int64_t u = indices[pos];
+            proposal[k] = u;
+            double b = 1.0;
+            int64_t pv = has_prev ? prev[i] : null_v;
+            if (pv != null_v) {
+                if (u == pv) {
+                    b = p;
+                } else {
+                    total_probes++;
+                    int64_t lo = indptr[pv], hi = indptr[pv + 1];
+                    while (lo < hi) {
+                        int64_t mid = (lo + hi) >> 1;
+                        if (indices[mid] < u)
+                            lo = mid + 1;
+                        else
+                            hi = mid;
+                    }
+                    if (lo < indptr[pv + 1] && indices[lo] == u)
+                        b = inv_q;
+                }
+            }
+            if (is_weighted) {
+                b = b * weights[pos];
+                envs[k] = bias_env * row_max[t];
+            } else {
+                envs[k] = bias_env;
+            }
+            bias[k] = b;
+        }
+        total_proposals += n;
+        int64_t m2 = 0;
+        for (int64_t k = 0; k < n; k++) {
+            int64_t i = pending[k];
+            double rv = pcg_double(&state, inc);
+            int acc = rv * envs[k] <= bias[k];
+            if (!is_weighted) {
+                int64_t pv = has_prev ? prev[i] : null_v;
+                if (pv == null_v)
+                    acc = 1;
+            }
+            if (acc) {
+                out[i] = proposal[k];
+            } else if (rounds == max_rounds) {
+                out[i] = proposal[k];
+            } else {
+                pending[m2++] = i;
+            }
+        }
+        draws += n;
+        n = m2;
+    }
+    counters[1] = total_proposals;
+    counters[2] = total_probes;
+    counters[3] = draws;
+    sw[0] = (uint64_t)(state >> 64);
+    sw[1] = (uint64_t)state;
+}
+
+void repro_grouping(const int64_t *vals, int64_t n, int64_t vmin,
+                    int64_t *hist, int64_t nbuckets, int64_t *cursor,
+                    int64_t *order) {
+    for (int64_t i = 0; i < n; i++)
+        hist[vals[i] - vmin]++;
+    int64_t acc = 0;
+    for (int64_t b = 0; b < nbuckets; b++) {
+        cursor[b] = acc;
+        acc += hist[b];
+    }
+    for (int64_t i = 0; i < n; i++) {
+        int64_t b = vals[i] - vmin;
+        order[cursor[b]++] = i;
+    }
+}
+
+void repro_gather_i64(const int64_t *values, const int64_t *starts,
+                      const int64_t *counts, const int64_t *offsets,
+                      int64_t nseg, int64_t *out) {
+    for (int64_t i = 0; i < nseg; i++) {
+        int64_t o = offsets[i], s0 = starts[i], c = counts[i];
+        for (int64_t k = 0; k < c; k++)
+            out[o + k] = values[s0 + k];
+    }
+}
+
+void repro_gather_f64(const double *values, const int64_t *starts,
+                      const int64_t *counts, const int64_t *offsets,
+                      int64_t nseg, double *out) {
+    for (int64_t i = 0; i < nseg; i++) {
+        int64_t o = offsets[i], s0 = starts[i], c = counts[i];
+        for (int64_t k = 0; k < c; k++)
+            out[o + k] = values[s0 + k];
+    }
+}
+
+void repro_scatter_rows(const int64_t *sampled,
+                        const int64_t *sample_ids, const int64_t *cols,
+                        int64_t n, int64_t m, int64_t *out,
+                        int64_t width) {
+    for (int64_t i = 0; i < n; i++) {
+        int64_t *row = out + sample_ids[i] * width;
+        int64_t base = cols[i] * m;
+        const int64_t *src = sampled + i * m;
+        for (int64_t j = 0; j < m; j++)
+            row[base + j] = src[j];
+    }
+}
+
+int64_t repro_dedupe_rows(int64_t *rows, int64_t nrows, int64_t w,
+                          int64_t null_v) {
+    int64_t dups = 0;
+    for (int64_t i = 0; i < nrows; i++) {
+        int64_t *row = rows + i * w;
+        for (int64_t j = 1; j < w; j++) {
+            int64_t v = row[j];
+            if (v == null_v)
+                continue;
+            for (int64_t k = 0; k < j; k++) {
+                if (row[k] == v) {
+                    row[j] = null_v;
+                    dups++;
+                    break;
+                }
+            }
+        }
+    }
+    return dups;
+}
+"""

@@ -1,0 +1,42 @@
+"""numba gating: compile kernels when numba exists, else interpret.
+
+The container this repo targets does not guarantee numba; the backend
+layer treats it as strictly optional (``pip install .[native]``).  When
+it is importable, :func:`compile_kernel` wraps a kernel body in
+``numba.njit(nogil=True, cache=True)``:
+
+* ``nogil`` — the compiled kernels never touch Python objects, so the
+  GIL is released for the whole call (multi-device shard threads
+  overlap for real);
+* ``cache`` — compiled machine code persists in ``__pycache__`` (or
+  ``$NUMBA_CACHE_DIR``), so warm-up after the first process is cheap;
+  the ``native`` CI job caches that directory between runs.
+
+numba compiles lazily on the first call with concrete types, so a
+compilation failure (unsupported dtype, broken install) surfaces as an
+exception from a kernel *call* — the backend's per-kernel
+catch/disable path (``native.compile_failures``) handles it, the run
+falls back to numpy for that kernel only, and every other kernel stays
+compiled.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HAVE_NUMBA", "NUMBA_VERSION", "compile_kernel"]
+
+try:
+    import numba
+    HAVE_NUMBA = True
+    NUMBA_VERSION = getattr(numba, "__version__", "unknown")
+except Exception:   # ImportError, or a broken install raising at import
+    numba = None
+    HAVE_NUMBA = False
+    NUMBA_VERSION = None
+
+
+def compile_kernel(fn):
+    """``njit(nogil=True, cache=True)`` of ``fn``, or ``fn`` itself
+    (interpreted, bit-identical, slow) when numba is unavailable."""
+    if not HAVE_NUMBA:
+        return fn
+    return numba.njit(nogil=True, cache=True)(fn)

@@ -18,6 +18,12 @@ name                            kind        meaning
 ``runtime.chunks_pooled``       counter     chunks run on pool workers
 ``runtime.degraded_mode``       gauge       1 while a run has abandoned
                                             its pool (else 0)
+``runtime.backend_active``      gauge       resolved kernel backend id
+                                            (0 numpy, 1 numba,
+                                            2 cnative)
+``native.compile_failures``     counter     compiled kernels disabled
+                                            after a build/runtime
+                                            failure (numpy fallback)
 ``rng.chunk_streams``           counter     chunk generators derived
 ``pool.chunks_dispatched``      counter     chunk messages sent to pipes
 ``pool.worker_crashes``         counter     worker deaths *detected*

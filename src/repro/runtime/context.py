@@ -331,11 +331,14 @@ class ExecutionContext:
         info = combine_infos([results[c][1] for c in range(nchunks)],
                              np.diff(bounds).tolist())
         if m > 0 and sample_ids.size:
-            if m == 1:
-                out[sample_ids, cols] = sampled_all[:, 0]
-            else:
-                slots = cols[:, None] * m + np.arange(m)[None, :]
-                out[sample_ids[:, None], slots] = sampled_all
+            from repro.api.apps._kernels import _backend
+            if _backend().scatter_rows(out, sampled_all, sample_ids,
+                                       cols, m) is None:
+                if m == 1:
+                    out[sample_ids, cols] = sampled_all[:, 0]
+                else:
+                    slots = cols[:, None] * m + np.arange(m)[None, :]
+                    out[sample_ids[:, None], slots] = sampled_all
         return out, info
 
     # -- collective steps ---------------------------------------------

@@ -209,13 +209,17 @@ class WorkerPool:
 
     def broadcast_run(self, app, graph_handle, seed: int,
                       use_reference: bool,
-                      fault_spec: Optional[str] = None) -> None:
+                      fault_spec: Optional[str] = None,
+                      backend: Optional[str] = None) -> None:
         """Install one run's context (app, shared graph, seed, fault
-        plan) on every worker.  Raises :class:`WorkerCrash` on any
-        failure."""
+        plan, kernel backend) on every worker.  Raises
+        :class:`WorkerCrash` on any failure."""
+        if backend is None:
+            from repro.native.backend import active_backend_name
+            backend = active_backend_name()
         blob = pickle.dumps(app, protocol=pickle.HIGHEST_PROTOCOL)
         msg = ("run", blob, graph_handle, int(seed), bool(use_reference),
-               fault_spec)
+               fault_spec, backend)
         timeout = resolve_progress_timeout()
         with self.lock:
             self._run_msg = msg

@@ -18,7 +18,8 @@ tuples ``(kind, ...)`` over a duplex ``Pipe``:
 parent -> worker          worker -> parent
 =======================  ============================================
 ("run", blob, handle,     ("ready",) | ("err", None, traceback)
- seed, use_ref, faults)
+ seed, use_ref, faults,
+ backend)
 ("ichunk", id, step,      ("ok", id, sampled, info, timing) |
  key, vals, prev, roots)  ("err", id, traceback)
 ("cchunk", id, step,      ("ok", id, vertices, info, timing) |
@@ -170,12 +171,18 @@ def worker_main(conn, worker_index: int) -> None:
                 # or OOM kill would.
                 os._exit(17)
             elif kind == "run":
-                _, blob, handle, seed, use_reference, fault_spec = msg
+                (_, blob, handle, seed, use_reference, fault_spec,
+                 backend_name) = msg
                 plan = FaultPlan.parse(fault_spec)
                 app = pickle.loads(blob)
                 if handle.key not in graphs:
                     graphs[handle.key] = import_graph(handle)
                 graph = graphs[handle.key]
+                # Inherit the parent's kernel backend, compiling once
+                # per worker before the first chunk so per-chunk
+                # timings are honest.
+                from repro.native.backend import set_backend
+                set_backend(backend_name)
                 conn.send(("ready",))
             elif kind == "ichunk":
                 _, chunk_id, step, key, vals, prev, roots_rows = msg

@@ -36,6 +36,11 @@ def _chaos(workers, seed):
     return run_chaos_checks(workers=workers, seed=seed)
 
 
+def _native(workers, seed):
+    from repro.verify.native import run_native_checks
+    return run_native_checks(workers=workers, seed=seed)
+
+
 #: suite name -> runner(workers, seed) -> [CheckResult]
 SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
     "stat": _stat,
@@ -43,6 +48,7 @@ SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
     "golden": _golden,
     "fuzz": _fuzz,
     "chaos": _chaos,
+    "native": _native,
 }
 
 SUITE_NAMES: Tuple[str, ...] = tuple(SUITES)

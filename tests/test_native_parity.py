@@ -1,0 +1,125 @@
+"""Compiled-backend parity: bitwise-identical samples + charges.
+
+The KernelBackend contract is that switching backends changes *speed
+only*: every app, engine, and worker count must produce the identical
+``SampleBatch`` (bitwise) and identical modeled charges, because the
+compiled kernels consume the chunked RNG plan in exactly the numpy
+draw order.  This file pins that contract:
+
+* every differential app × {numba, cnative} × NextDoor (in-process)
+* a representative app subset × {SP, TP}
+* multi-chunk pooled runs at ``workers`` 1 and 2
+* the ``repro verify --suite native`` wiring
+
+The numba backend runs interpreted when numba isn't installed, which
+is bit-identical by construction — so the parity proofs hold on hosts
+with or without the JIT (CI runs both).
+"""
+
+import dataclasses
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.baselines import SampleParallelEngine, VanillaTPEngine
+from repro.core.engine import NextDoorEngine
+from repro.graph.generators import rmat_graph
+from repro.native.backend import available_backends, backend_scope
+from repro.verify.differential import DIFF_APPS, canonical_batch
+
+COMPILED = [b for b in available_backends() if b != "numpy"]
+
+_GRAPHS = {}
+
+
+def _graph(weighted: bool):
+    if weighted not in _GRAPHS:
+        g = rmat_graph(256, 1024, seed=5, name="parity-rmat")
+        _GRAPHS[weighted] = g.with_random_weights(seed=6) if weighted \
+            else g
+    return _GRAPHS[weighted]
+
+
+def _snapshot(engine, app_name, weighted, num_samples=32, seed=23):
+    app = DIFF_APPS[app_name]()
+    result = engine.run(app, _graph(weighted),
+                        num_samples=num_samples, seed=seed)
+    canon = canonical_batch(app, result.batch)
+    h = hashlib.sha256()
+    for key in sorted(canon):
+        h.update(key.encode())
+        h.update(np.ascontiguousarray(canon[key]).tobytes())
+    return h.hexdigest(), dataclasses.asdict(result.metrics)
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+@pytest.mark.parametrize("app_name", sorted(DIFF_APPS))
+class TestNextDoorParity:
+    def test_digest_and_charges_match_numpy(self, app_name, backend):
+        for weighted in (False, True):
+            with backend_scope("numpy"):
+                expected = _snapshot(NextDoorEngine(), app_name,
+                                     weighted)
+            with backend_scope(backend):
+                actual = _snapshot(NextDoorEngine(), app_name, weighted)
+            assert actual[0] == expected[0], \
+                f"{app_name} samples diverged on {backend} " \
+                f"(weighted={weighted})"
+            assert actual[1] == expected[1], \
+                f"{app_name} charges diverged on {backend} " \
+                f"(weighted={weighted})"
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+@pytest.mark.parametrize("engine_cls",
+                         [SampleParallelEngine, VanillaTPEngine])
+@pytest.mark.parametrize("app_name", ["DeepWalk", "k-hop", "LADIES"])
+class TestBaselineEngineParity:
+    def test_digest_and_charges_match_numpy(self, app_name, engine_cls,
+                                            backend):
+        weighted = app_name == "DeepWalk"
+        with backend_scope("numpy"):
+            expected = _snapshot(engine_cls(), app_name, weighted)
+        with backend_scope(backend):
+            actual = _snapshot(engine_cls(), app_name, weighted)
+        assert actual == expected
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+class TestPooledParity:
+    """Multi-chunk runs so pool workers really execute kernels: the
+    backend is inherited by every worker (broadcast in the run
+    message), and digests must match numpy at the same worker count."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_deepwalk_multichunk(self, backend, workers):
+        g = rmat_graph(1200, 7000, seed=9,
+                       name="pool-rmat").with_random_weights(seed=9)
+        app = DIFF_APPS["DeepWalk"]
+
+        def run(name):
+            with backend_scope(name):
+                r = NextDoorEngine(workers=workers).run(
+                    app(), g, num_samples=5000, seed=31)
+            return ([a.copy() for a in r.batch.step_vertices],
+                    dataclasses.asdict(r.metrics))
+
+        base_steps, base_metrics = run("numpy")
+        steps, metrics = run(backend)
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(base_steps, steps))
+        assert metrics == base_metrics
+
+
+class TestVerifySuite:
+    def test_native_suite_registered(self):
+        from repro.verify.runner import SUITE_NAMES
+        assert "native" in SUITE_NAMES
+
+    def test_native_suite_passes_in_process(self):
+        from repro.verify.native import _golden_checks
+        for backend in COMPILED:
+            results = _golden_checks(backend, workers=None)
+            assert results and all(r.passed for r in results), \
+                [str(r) for r in results if not r.passed]
