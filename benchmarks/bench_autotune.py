@@ -1,0 +1,201 @@
+"""Autotuner benchmark: tuned vs default wall-clock per (app, graph).
+
+For each pair the harness runs the full trace-driven search
+(``repro.tune.search.autotune``, wall-clock objective), persists the
+winner in a tuning database, then *re-measures* the default and tuned
+configurations head-to-head with fresh best-of-N timings — so the
+reported speedup is an independent measurement, not the search's own
+trial numbers.
+
+The pairs are the two workload families whose hot paths differ most
+(long weighted walks vs multiplicative k-hop fan-out) plus a
+collective-sampling pair where compiled kernels barely matter — an
+honest "the tuner finds nothing big here" row.
+
+Results land in ``BENCH_autotune.json`` at the repo root, together
+with the winning config, the search history size, the ``tune.*``
+metric counters, and the tuning-database entries.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py           # full
+    PYTHONPATH=src python benchmarks/bench_autotune.py --quick   # smoke
+
+Also collected by pytest as a quick-mode smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+if os.path.join(REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.api.apps import DeepWalk, KHop, LADIES  # noqa: E402
+from repro.core.engine import NextDoorEngine  # noqa: E402
+from repro.graph import datasets  # noqa: E402
+from repro.native.backend import available_backends  # noqa: E402
+from repro.obs import get_metrics  # noqa: E402
+from repro.tune import TuneConfig, TuneDB  # noqa: E402
+from repro.tune.search import autotune  # noqa: E402
+
+__all__ = ["run_autotune_bench", "main"]
+
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_autotune.json")
+
+#: (label, graph key, weighted?, app factory, samples full, quick)
+PAIRS: Tuple = (
+    ("DeepWalk-100/livej", "livej", True,
+     lambda: DeepWalk(walk_length=100), 8000, 1000),
+    ("k-hop-25x10/livej", "livej", False,
+     lambda: KHop(fanouts=(25, 10)), 4096, 512),
+    ("LADIES/reddit", "reddit", False,
+     lambda: LADIES(step_size=64, batch_size=64), 256, 64),
+)
+
+
+def _measure(config: Optional[TuneConfig], app_factory: Callable, graph,
+             num_samples: int, repeats: int, seed: int) -> float:
+    """Best-of-``repeats`` wall seconds of one configuration (one
+    untimed warm-up run first)."""
+    kwargs = {} if config is None else {"tune": config}
+    NextDoorEngine(**kwargs).run(app_factory(), graph,
+                                 num_samples=num_samples, seed=seed)
+    best = float("inf")
+    for _ in range(repeats):
+        engine = NextDoorEngine(**kwargs)
+        t0 = time.perf_counter()
+        engine.run(app_factory(), graph, num_samples=num_samples,
+                   seed=seed)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_autotune_bench(quick: bool = False, seed: int = 7,
+                       budget: Optional[int] = None,
+                       repeats: Optional[int] = None,
+                       db_path: Optional[str] = None) -> Dict:
+    """Search + head-to-head re-measurement per pair; returns the
+    report dict."""
+    budget = budget if budget is not None else (5 if quick else 16)
+    repeats = repeats if repeats is not None else (1 if quick else 3)
+    measure_repeats = 2 if quick else 5
+    db = TuneDB(db_path) if db_path else TuneDB(
+        os.path.join(REPO_ROOT, "benchmarks", "results",
+                     "autotune_db.json"))
+    results: Dict[str, Dict] = {}
+    for label, graph_key, weighted, app_factory, full_n, quick_n in PAIRS:
+        num_samples = quick_n if quick else full_n
+        graph = datasets.load(graph_key, weighted=weighted)
+        summary = autotune(app_factory(), graph, db=db,
+                           objective="wallclock", budget=budget,
+                           num_samples=num_samples, seed=seed,
+                           repeats=repeats, save=False)
+        tuned_cfg = TuneConfig.from_dict(summary["config"])
+        default_s = _measure(None, app_factory, graph, num_samples,
+                             measure_repeats, seed)
+        tuned_s = _measure(tuned_cfg, app_factory, graph, num_samples,
+                           measure_repeats, seed)
+        speedup = default_s / tuned_s if tuned_s > 0 else float("inf")
+        results[label] = {
+            "app": summary["app"],
+            "graph": graph.name,
+            "samples": int(num_samples),
+            "config": summary["config"],
+            "describe": summary["describe"],
+            "trials": summary["trials"],
+            "search_speedup": summary["speedup"],
+            "default_seconds": default_s,
+            "tuned_seconds": tuned_s,
+            "speedup": speedup,
+        }
+        print(f"{label:>22s} | default {default_s*1e3:8.1f} ms  "
+              f"tuned {tuned_s*1e3:8.1f} ms  ({speedup:.2f}x)  "
+              f"[{summary['describe']}]")
+    db.save()
+    wins = sum(1 for cell in results.values() if cell["speedup"] >= 1.15)
+    report = {
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "budget": budget,
+        "repeats": repeats,
+        "measure_repeats": measure_repeats,
+        "objective": "wallclock",
+        "backends_available": list(available_backends()),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "git_sha": _git_sha(),
+        "pairs_at_or_above_1.15x": wins,
+        "tune_metrics": get_metrics().snapshot("tune."),
+        "db_path": os.path.relpath(db.path, REPO_ROOT)
+        if db.path.startswith(REPO_ROOT) else db.path,
+        "results": results,
+    }
+    print(f"{wins}/{len(results)} pairs at >= 1.15x tuned speedup")
+    return report
+
+
+def _git_sha() -> Optional[str]:
+    import subprocess
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small budgets and sample counts (CI smoke)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--budget", type=int, default=None,
+                        help="trial configurations per pair "
+                             "(default 16, quick 5)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per wallclock trial (default 3, "
+                             "quick 1)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--db", default=None, metavar="PATH",
+                        help="tuning database to populate (default: "
+                             "benchmarks/results/autotune_db.json)")
+    args = parser.parse_args(argv)
+    report = run_autotune_bench(quick=args.quick, seed=args.seed,
+                                budget=args.budget, repeats=args.repeats,
+                                db_path=args.db)
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_autotune_bench_smoke(tmp_path):
+    """Pytest smoke: the harness runs end-to-end in quick mode."""
+    report = run_autotune_bench(quick=True,
+                                db_path=str(tmp_path / "db.json"))
+    assert report["results"]
+    for label, cell in report["results"].items():
+        assert cell["default_seconds"] > 0, label
+        assert cell["tuned_seconds"] > 0, label
+        TuneConfig.from_dict(cell["config"])  # stored config is valid
+    assert TuneDB(str(tmp_path / "db.json")).validate() == []
+    assert report["tune_metrics"].get("tune.trials", 0) > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

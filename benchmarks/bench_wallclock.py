@@ -140,18 +140,39 @@ def _time_run(engine, app_factory: Callable, graph, num_samples: int,
 def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
                   seed: int = 7, workers: int = 0,
                   chunk_size: Optional[int] = None,
-                  backend: Optional[str] = None) -> Dict:
-    """Run the full workload × engine grid; returns the result dict."""
+                  backend: Optional[str] = None,
+                  tuned: bool = False,
+                  tune_db: Optional[str] = None) -> Dict:
+    """Run the full workload × engine grid; returns the result dict.
+
+    ``tuned=True`` consults the tuning database (``tune_db`` path or
+    the resolver's default) per workload; the report's ``tune`` key
+    records the active :class:`~repro.tune.TuneConfig` per workload —
+    or ``"default"`` when nothing was applied — so a trajectory entry
+    always says what configuration produced it.
+    """
     repeats = repeats if repeats is not None else (1 if quick else 3)
     backend = resolve_backend_name(backend)
+    db = None
+    if tuned:
+        from repro.tune import TuneDB
+        db = TuneDB(tune_db)
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    tune_meta: Dict[str, object] = {}
     with backend_scope(backend) as active:
         for wl_name, app_factory, weighted, full_n, quick_n in WORKLOADS:
             num_samples = quick_n if quick else full_n
             graph = datasets.load(GRAPH, weighted=weighted)
+            tune_cfg = (db.lookup(app_factory().name, graph)
+                        if db is not None else None)
+            tune_meta[wl_name] = (tune_cfg.to_dict()
+                                  if tune_cfg is not None else "default")
             results[wl_name] = {}
             for eng_name, eng_cls in ENGINES:
-                engine = eng_cls(workers=workers, chunk_size=chunk_size)
+                kwargs = {"workers": workers, "chunk_size": chunk_size}
+                if tune_cfg is not None:
+                    kwargs["tune"] = tune_cfg
+                engine = eng_cls(**kwargs)
                 cell = _time_run(engine, app_factory, graph, num_samples,
                                  repeats, seed=seed)
                 results[wl_name][eng_name] = cell
@@ -166,6 +187,8 @@ def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
         "workers": int(workers),
         "chunk_size": int(chunk_size or DEFAULT_CHUNK_PAIRS),
         "backend": active.name,
+        "tune": tune_meta or "default",
+        "tune_db": db.path if db is not None else None,
         "numba": NUMBA_VERSION,
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
@@ -389,6 +412,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--force", action="store_true",
                         help="allow overwriting an output file recorded "
                              "with a different kernel backend")
+    parser.add_argument("--tuned", action="store_true",
+                        help="consult the tuning database per workload "
+                             "(see `repro tune`); the report records "
+                             "the active config per workload")
+    parser.add_argument("--tune-db", default=None, metavar="PATH",
+                        help="tuning database file (default: "
+                             "$REPRO_TUNE_DB or ./tune.json)")
     parser.add_argument("--no-multicore", action="store_true",
                         help="skip the workers=0 vs workers=4 comparison")
     parser.add_argument("--no-stages", action="store_true",
@@ -417,7 +447,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run_wallclock(quick=args.quick, repeats=args.repeats,
                            seed=args.seed, workers=args.workers,
                            chunk_size=args.chunk_size,
-                           backend=args.backend)
+                           backend=args.backend, tuned=args.tuned,
+                           tune_db=args.tune_db)
     if not args.no_multicore:
         report["multicore"] = run_multicore(quick=args.quick,
                                             seed=args.seed)
@@ -461,6 +492,8 @@ def test_wallclock_smoke(tmp_path):
     assert report["numpy"] == np.__version__
     assert report["platform"]
     assert report["backend"] == "numpy"
+    # Untuned runs record "default" as the active config per workload.
+    assert all(v == "default" for v in report["tune"].values())
     report["stage_breakdown"] = run_stage_breakdown(quick=True)
     for wl, spans in report["stage_breakdown"].items():
         assert spans.get("run", 0) > 0, wl

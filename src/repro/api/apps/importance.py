@@ -75,8 +75,19 @@ class FastGCN(SamplingApp):
         return state
 
     def _importance(self, graph: CSRGraph) -> np.ndarray:
+        """Importance distribution in *canonical* vertex order.
+
+        On a relabeled graph the degree vector is re-gathered into
+        original-id order first, so the CDF — and therefore every draw
+        position — is bit-identical to the unpermuted graph's; draws
+        are mapped back to new-space ids by the callers.  (On a plain
+        graph canonical order is the identity.)
+        """
         if self._probs_cache is None or self._probs_cache.size != graph.num_vertices:
             weights = graph.degrees().astype(np.float64) + 1.0
+            perm = getattr(graph, "relabel_perm", None)
+            if perm is not None:
+                weights = weights[perm]
             self._probs_cache = weights / weights.sum()
         return self._probs_cache
 
@@ -86,7 +97,8 @@ class FastGCN(SamplingApp):
         graph = sample.graph
         probs = self._importance(graph)
         v = int(rng.choice(graph.num_vertices, p=probs))
-        return v
+        perm = getattr(graph, "relabel_perm", None)
+        return int(perm[v]) if perm is not None else v
 
     # Vectorised path -------------------------------------------------
 
@@ -101,11 +113,15 @@ class FastGCN(SamplingApp):
         rng: np.random.Generator,
     ) -> Tuple[np.ndarray, StepInfo]:
         probs = self._importance(graph)
-        # Inverse-transform over the global importance CDF.
+        # Inverse-transform over the global importance CDF (canonical
+        # vertex order; see _importance).
         cdf = np.cumsum(probs)
         draws = rng.random(size=(batch.num_samples, self.step_size))
         out = np.searchsorted(cdf, draws).astype(np.int64)
         out = np.minimum(out, graph.num_vertices - 1)
+        perm = getattr(graph, "relabel_perm", None)
+        if perm is not None:
+            out = perm[out]
         return out, StepInfo(avg_compute_cycles=12.0)
 
     def record_step_edges(
@@ -265,8 +281,11 @@ class LADIES(FastGCN):
             w = graph.degrees_array[graph.indices].astype(np.float64) + 1.0
             ecs = np.cumsum(w)
             mass = np.zeros(graph.num_vertices, dtype=np.float64)
+            # Row spans as (start, start + degree): on plain graphs this
+            # equals indptr[1:], and it stays correct on relabeled
+            # graphs whose indptr holds per-row starts only.
             starts = graph.indptr[:-1]
-            ends = graph.indptr[1:]
+            ends = starts + graph.degrees_array
             ne = np.nonzero(ends > starts)[0]
             if ne.size:
                 base = np.where(starts[ne] > 0, ecs[starts[ne] - 1], 0.0)

@@ -24,6 +24,7 @@ import numpy as np
 from repro.api.app import SamplingApp
 from repro.api.types import NULL_VERTEX, SamplingType
 from repro.core import stepper
+from repro.graph.relabel import canonicalize_batch
 from repro.core.engine import SamplingResult
 from repro.core.transit_map import flatten_transits
 from repro.core.unique import dedupe_and_topup
@@ -145,6 +146,8 @@ class ReferenceSamplerEngine:
                 step += 1
                 if m > 0 and not (new_vertices != NULL_VERTEX).any():
                     break
+        if getattr(graph, "canonical_of", None) is not None:
+            canonicalize_batch(batch)
         return SamplingResult(
             app=app, graph_name=graph.name, batch=batch,
             seconds=cpu.elapsed_seconds,

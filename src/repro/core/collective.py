@@ -36,7 +36,9 @@ __all__ = [
 
 def charge_combined_neighborhood_tp(device: Device, tmap: TransitMap,
                                     degrees: np.ndarray,
-                                    phase: str = "sampling") -> None:
+                                    phase: str = "sampling",
+                                    config: KernelPlanConfig =
+                                    KernelPlanConfig()) -> None:
     """Transit-parallel combined-neighborhood construction: a streaming
     copy of each transit's adjacency into every associated sample's
     neighborhood, load-balanced with the Table 2 classes (the copy's
@@ -46,7 +48,8 @@ def charge_combined_neighborhood_tp(device: Device, tmap: TransitMap,
     if counts.size == 0:
         return
     words = counts * np.maximum(degrees, 1)
-    classes = classify_transits(counts, int(max(1, degrees.mean())))
+    classes = classify_transits(counts, int(max(1, degrees.mean())),
+                                config.subwarp_limit, config.block_limit)
     kernel = device.new_kernel("combined_neighborhood_tp")
     for cls, limit_warps in (("subwarp", 8), ("block", 8), ("grid", 32)):
         idx = classes[cls]

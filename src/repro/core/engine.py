@@ -43,6 +43,7 @@ from repro.core.transit_map import (
     charge_map_readback,
 )
 from repro.core.unique import charge_dedup, dedupe_and_topup
+from repro.graph.relabel import canonicalize_batch, relabel_graph
 from repro.gpu.device import Device
 from repro.gpu.metrics import DeviceMetrics
 from repro.gpu.multi_gpu import MultiGPU
@@ -133,10 +134,20 @@ class NextDoorEngine:
                  workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
                  checkpoint_dir: Optional[str] = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 tune=None) -> None:
         self.spec = spec
         self.config = config
         self.use_reference = use_reference
+        #: Autotuner configuration (:class:`repro.tune.TuneConfig`) or
+        #: None for the defaults.  Applies the tuned kernel thresholds,
+        #: chunk size, backend, in-flight cap, and relabeling — all
+        #: bitwise-invisible in the produced samples.
+        self.tune = tune
+        if tune is not None:
+            self.config = tune.apply_to_plan(self.config)
+            if chunk_size is None:
+                chunk_size = tune.chunk_size
         #: Multicore runtime: 0 = in-process; None = $REPRO_WORKERS,
         #: default 0.  Samples are bitwise-identical for any setting.
         self.workers = workers
@@ -164,10 +175,27 @@ class NextDoorEngine:
         """
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
+        tune = self.tune
+        if tune is not None and tune.backend is not None:
+            from repro.native.backend import backend_scope
+            with backend_scope(tune.backend):
+                return self._run(app, graph, num_samples, roots, seed,
+                                 num_devices)
+        return self._run(app, graph, num_samples, roots, seed, num_devices)
+
+    def _run(self, app: SamplingApp, graph,
+             num_samples: Optional[int],
+             roots: Optional[np.ndarray],
+             seed: int, num_devices: int) -> SamplingResult:
+        tune = self.tune
+        if (tune is not None and tune.relabel
+                and getattr(graph, "relabel_perm", None) is None):
+            graph = relabel_graph(graph, tune.relabel)
         with trace.span("run", engine=self.engine_name, app=app.name,
                         graph=graph.name, devices=num_devices) as run_span:
             ctx = ExecutionContext(seed, workers=self.workers,
-                                   chunk_size=self.chunk_size)
+                                   chunk_size=self.chunk_size,
+                                   inflight=tune.inflight if tune else None)
             batch = stepper.init_batch(app, graph, num_samples, roots,
                                        ctx.init_rng())
             run_span.set(samples=batch.num_samples)
@@ -191,6 +219,10 @@ class NextDoorEngine:
             else:
                 result = self._run_multi_gpu(app, graph, batch, ctx,
                                              num_devices)
+        # Relabeled runs hand back original vertex ids: invert the
+        # permutation on everything the batch exposes.
+        if getattr(graph, "canonical_of", None) is not None:
+            canonicalize_batch(result.batch)
         reg = get_metrics()
         reg.counter("engine.runs").inc()
         reg.counter("engine.samples_produced").inc(result.batch.num_samples)
@@ -271,7 +303,7 @@ class NextDoorEngine:
                 transits = app.transits_for_step(batch, step)
                 with trace.span("scheduling_index", step=step,
                                 backend=backend) as idx_span:
-                    tmap = build_transit_map(transits)
+                    tmap = build_transit_map(transits, graph)
                     idx_span.set(pairs=tmap.num_pairs)
                 if tmap.num_pairs == 0:
                     break  # no live transits: every sample terminated
@@ -369,7 +401,8 @@ class NextDoorEngine:
                            has_edges: bool) -> None:
         """Transit-parallel combined-neighborhood construction +
         sample-parallel selection (Section 6.2)."""
-        charge_combined_neighborhood_tp(device, tmap, degrees)
+        charge_combined_neighborhood_tp(device, tmap, degrees,
+                                        config=self.config)
         charge_collective_selection(device, num_samples, m, info)
         if has_edges:
             charge_edge_recording(device, tmap.num_pairs * max(m, 1))
@@ -430,7 +463,7 @@ def _merge_batches(graph, shards: List[SampleBatch]) -> SampleBatch:
 #: Keyword arguments ``do_sampling`` accepts beyond its positionals.
 _DO_SAMPLING_KWARGS = ("spec", "config", "use_reference", "workers",
                        "chunk_size", "checkpoint_dir", "resume",
-                       "num_devices")
+                       "num_devices", "tune")
 
 
 def do_sampling(app: SamplingApp, graph, num_samples: int, seed: int = 0,

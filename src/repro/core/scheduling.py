@@ -32,7 +32,8 @@ from repro.gpu.warp import WarpStats, coalesced_segments
 
 __all__ = ["KernelPlanConfig", "charge_sampling_kernels", "classify_transits"]
 
-#: Thread-count boundaries of Table 2.
+#: Thread-count boundaries of Table 2 (the defaults; the autotuner can
+#: override them per run through :class:`KernelPlanConfig`).
 SUBWARP_LIMIT = 32
 BLOCK_LIMIT = 1024
 
@@ -50,17 +51,25 @@ class KernelPlanConfig:
     #: Pack multiple samples into one warp when m < 32; False = one
     #: sample per warp (idle lanes, uncoalesced stores).
     enable_subwarp_sharing: bool = True
+    #: Kernel-assignment boundaries (Table 2): transits needing fewer
+    #: than ``subwarp_limit`` neighbors run in sub-warps, more than
+    #: ``block_limit`` span multiple blocks.  Tunable — they change only
+    #: the modeled kernel charges, never the samples.
+    subwarp_limit: int = SUBWARP_LIMIT
+    block_limit: int = BLOCK_LIMIT
 
 
-def classify_transits(counts: np.ndarray, m: int) -> dict:
+def classify_transits(counts: np.ndarray, m: int,
+                      subwarp_limit: int = SUBWARP_LIMIT,
+                      block_limit: int = BLOCK_LIMIT) -> dict:
     """Partition transit indices into the three kernel classes by
     total neighbors to sample (Table 2)."""
     needed = counts * max(m, 1)
     return {
-        "subwarp": np.nonzero(needed < SUBWARP_LIMIT)[0],
-        "block": np.nonzero((needed >= SUBWARP_LIMIT)
-                            & (needed <= BLOCK_LIMIT))[0],
-        "grid": np.nonzero(needed > BLOCK_LIMIT)[0],
+        "subwarp": np.nonzero(needed < subwarp_limit)[0],
+        "block": np.nonzero((needed >= subwarp_limit)
+                            & (needed <= block_limit))[0],
+        "grid": np.nonzero(needed > block_limit)[0],
     }
 
 
@@ -133,7 +142,9 @@ def charge_sampling_kernels(
                            name_prefix, weighted)
         return
 
-    classes = classify_transits(counts, m)
+    classes = classify_transits(counts, m, config.subwarp_limit,
+                                config.block_limit)
+    block_limit = config.block_limit
     smem_words = spec.shared_mem_per_block // 8
     row_words = 2.0 if weighted else 1.0  # neighbor ids (+ weights)
     # The three class kernels have no mutual dependencies and launch on
@@ -209,12 +220,12 @@ def charge_sampling_kernels(
     idx = classes["grid"]
     if idx.size:
         needed = counts[idx] * m
-        blocks_per_transit = np.ceil(needed / BLOCK_LIMIT).astype(np.int64)
+        blocks_per_transit = np.ceil(needed / block_limit).astype(np.int64)
         total_blocks = int(blocks_per_transit.sum())
         avg_deg = float(degrees[idx].mean())
-        wpb = BLOCK_LIMIT // spec.warp_size
+        wpb = max(1, block_limit // spec.warp_size)
         cache_words = row_words * min(avg_deg, smem_words,
-                                      float(BLOCK_LIMIT) * 4.0)
+                                      float(block_limit) * 4.0)
         fits = avg_deg * row_words <= smem_words
         warp = WarpStats(spec)
         warp.global_load(cache_words / wpb)
@@ -248,11 +259,12 @@ def _charge_vanilla_tp(
     transits strand mostly-idle blocks.  Stores scatter because there
     is no sub-warp organisation."""
     spec = device.spec
+    block_limit = config.block_limit
     needed = counts * m
-    threads = np.minimum(needed, BLOCK_LIMIT)
+    threads = np.minimum(needed, block_limit)
     warps_per_block = np.maximum(1, np.ceil(threads / spec.warp_size)
                                  ).astype(np.int64)
-    rounds = np.maximum(1, np.ceil(needed / BLOCK_LIMIT)).astype(np.int64)
+    rounds = np.maximum(1, np.ceil(needed / block_limit)).astype(np.int64)
     smem_words = spec.shared_mem_per_block // 8
     row_words = 2.0 if weighted else 1.0
     kernel = device.new_kernel(name_prefix + "vanilla_tp_kernel")

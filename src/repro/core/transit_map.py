@@ -97,7 +97,7 @@ def _grouping_order(vals: np.ndarray) -> np.ndarray:
     return np.argsort(keys, kind="stable")
 
 
-def build_transit_map(transits: np.ndarray) -> TransitMap:
+def build_transit_map(transits: np.ndarray, graph=None) -> TransitMap:
     """Group a step's pairs by transit vertex (the functional half).
 
     The grouping is a stable counting sort: ``np.bincount`` over the
@@ -105,6 +105,14 @@ def build_transit_map(transits: np.ndarray) -> TransitMap:
     ``offsets`` directly — O(K + V) with no second sort, unlike the
     ``argsort`` + ``np.unique`` pipeline it replaces (``np.unique``
     sorts the already-sorted keys again).
+
+    When ``graph`` is a relabeled graph (see
+    :mod:`repro.graph.relabel`), grouping keys are the *canonical*
+    (original) vertex ids: the pair order, counts, and chunk layout —
+    and therefore the RNG-draw-to-pair assignment — match the
+    unpermuted run exactly, which is what makes relabeled sampling
+    bitwise round-trip safe.  ``unique_transits`` still holds new ids
+    (they index the relabeled graph's arrays).
     """
     sample_ids, cols, vals = flatten_transits(transits)
     num_total_pairs = int(np.asarray(transits).size)
@@ -113,46 +121,56 @@ def build_transit_map(transits: np.ndarray) -> TransitMap:
         return TransitMap(sample_ids, cols, vals, empty, empty.copy(),
                           np.zeros(1, dtype=np.int64),
                           num_total_pairs=num_total_pairs)
+    canonical_of = getattr(graph, "canonical_of", None)
+    keys = canonical_of[vals] if canonical_of is not None else vals
     from repro.api.apps._kernels import _backend
-    native = _backend().grouping(vals)
+    native = _backend().grouping(keys)
     if native is not None:
-        order, unique_transits, counts, offsets = native
-        vals = vals[order]
+        order, unique_keys, counts, offsets = native
     else:
-        order = _grouping_order(vals)
-        vals = vals[order]
+        order = _grouping_order(keys)
+        skeys = keys[order]
         # Histogram over the rebased id range: unique transits are the
         # non-empty buckets, offsets their exclusive prefix sum.
-        vmin = int(vals[0])
-        hist = np.bincount(vals - vmin,
-                           minlength=int(vals[-1]) - vmin + 1)
+        vmin = int(skeys[0])
+        hist = np.bincount(skeys - vmin,
+                           minlength=int(skeys[-1]) - vmin + 1)
         nonzero = np.nonzero(hist)[0]
-        unique_transits = nonzero + vmin
+        unique_keys = nonzero + vmin
         counts = hist[nonzero]
         offsets = np.zeros(counts.size + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
+    vals = vals[order]
+    unique_transits = (graph.perm[unique_keys] if canonical_of is not None
+                       else unique_keys)
     sample_ids = sample_ids[order]
     cols = cols[order]
     return TransitMap(sample_ids, cols, vals, unique_transits,
                       counts, offsets, num_total_pairs=num_total_pairs)
 
 
-def build_transit_map_reference(transits: np.ndarray) -> TransitMap:
+def build_transit_map_reference(transits: np.ndarray,
+                                graph=None) -> TransitMap:
     """The original full-sort grouping (``argsort`` + ``np.unique``).
 
     Kept as the reference the fast path is equivalence-tested against
     (``tests/test_fastpath_equivalence.py``) and for wall-clock
-    comparisons; both produce bitwise-identical maps.
+    comparisons; both produce bitwise-identical maps — including the
+    canonical-key grouping for relabeled graphs.
     """
     sample_ids, cols, vals = flatten_transits(transits)
-    order = np.argsort(vals, kind="stable")
+    canonical_of = getattr(graph, "canonical_of", None)
+    keys = canonical_of[vals] if canonical_of is not None else vals
+    order = np.argsort(keys, kind="stable")
     vals = vals[order]
     sample_ids = sample_ids[order]
     cols = cols[order]
-    unique_transits, start_idx, counts = np.unique(
-        vals, return_index=True, return_counts=True)
+    unique_keys, start_idx, counts = np.unique(
+        keys[order], return_index=True, return_counts=True)
     offsets = np.concatenate([start_idx.astype(np.int64),
                               np.asarray([vals.size], dtype=np.int64)])
+    unique_transits = (graph.perm[unique_keys] if canonical_of is not None
+                       else unique_keys)
     return TransitMap(sample_ids, cols, vals, unique_transits,
                       counts.astype(np.int64), offsets,
                       num_total_pairs=int(np.asarray(transits).size))

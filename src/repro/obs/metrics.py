@@ -155,13 +155,17 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
         """Flat ``{name: value}`` dict (histograms expand to a summary
-        sub-dict); JSON-serialisable."""
+        sub-dict); JSON-serialisable.  ``prefix`` narrows to one
+        instrument namespace (e.g. ``"tune."`` for the autotuner's
+        trial counters)."""
         with self._lock:
             items = list(self._instruments.items())
         out: Dict[str, Any] = {}
         for name, inst in sorted(items):
+            if prefix and not name.startswith(prefix):
+                continue
             if isinstance(inst, Histogram):
                 out[name] = inst.as_dict()
             else:

@@ -145,8 +145,13 @@ class ExecutionContext:
 
     def __init__(self, seed: int, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
-                 plan: Optional[RNGPlan] = None) -> None:
+                 plan: Optional[RNGPlan] = None,
+                 inflight: Optional[int] = None) -> None:
         self.workers = resolve_workers(workers)
+        #: Per-worker in-flight chunk cap for pooled dispatch (None =
+        #: $REPRO_POOL_INFLIGHT / pool default).  Purely a scheduling
+        #: knob: samples are bitwise-identical for any value.
+        self.inflight = inflight
         if plan is None:
             plan = (RNGPlan(seed, chunk_pairs=chunk_size)
                     if chunk_size else RNGPlan(seed))
@@ -180,7 +185,8 @@ class ExecutionContext:
         """Context for one multi-device shard: a namespaced plan over
         the same pool."""
         ctx = ExecutionContext(self.plan.seed, workers=self.workers,
-                               plan=self.plan.shard(shard_index))
+                               plan=self.plan.shard(shard_index),
+                               inflight=self.inflight)
         ctx.pool = self.pool
         ctx._pool_failed = self._pool_failed
         ctx.checkpoint = self.checkpoint
@@ -467,7 +473,7 @@ class ExecutionContext:
 
     def _dispatch(self, jobs) -> Dict[int, tuple]:
         try:
-            return self.pool.run_chunks(jobs)
+            return self.pool.run_chunks(jobs, max_inflight=self.inflight)
         except WorkerCrash as exc:
             partial = dict(exc.results)
             self._abandon_pool(

@@ -1,0 +1,24 @@
+"""Trace-driven autotuner with a persistent tuning database.
+
+Public surface:
+
+- :class:`~repro.tune.config.TuneConfig` — the knob bundle engines
+  accept via ``NextDoorEngine(tune=...)``.
+- :class:`~repro.tune.db.TuneDB` — the JSON database ``repro tune``
+  populates and ``repro sample --tuned`` consults.
+- :func:`~repro.tune.search.autotune` — the staged coordinate-descent
+  search (imported lazily from :mod:`repro.tune.search` to keep the
+  config/db layer importable without pulling the engine in).
+"""
+
+from repro.tune.config import DEFAULT_TUNE, TuneConfig
+from repro.tune.db import DB_ENV, DEFAULT_DB_PATH, TuneDB, graph_fingerprint
+
+__all__ = ["TuneConfig", "DEFAULT_TUNE", "TuneDB", "DB_ENV",
+           "DEFAULT_DB_PATH", "graph_fingerprint", "autotune"]
+
+
+def autotune(*args, **kwargs):
+    """Lazy re-export of :func:`repro.tune.search.autotune`."""
+    from repro.tune.search import autotune as _autotune
+    return _autotune(*args, **kwargs)

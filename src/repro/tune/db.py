@@ -1,0 +1,193 @@
+"""Persistent tuning database.
+
+Autotuning a (app, graph) pair costs real trial runs, so results are
+persisted in a small JSON file keyed by a *fingerprint* of everything
+that determines which configuration wins:
+
+- the application name,
+- the graph's identity — name, vertex/edge counts, and a content hash
+  of its CSR arrays (a renamed copy of the same graph hits the same
+  entry; a graph that changed under the same name does not),
+- the set of kernel backends importable on this host (a database tuned
+  where ``cnative`` compiles must not hand ``backend=cnative`` to a
+  host without a C compiler).
+
+Lookups are deterministic: the same app/graph/host always maps to the
+same fingerprint and therefore the same stored config — a property the
+``tune`` verification suite asserts.  Writes are atomic
+(temp file + ``os.replace``) with sorted keys so concurrent readers
+never see a torn file and diffs stay stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.tune.config import TuneConfig
+
+__all__ = ["TuneDB", "DB_ENV", "DEFAULT_DB_PATH", "graph_fingerprint"]
+
+#: Environment variable naming the database file; the CLI's ``--db``
+#: flag wins over it.
+DB_ENV = "REPRO_TUNE_DB"
+
+#: Database file used when neither ``--db`` nor ``$REPRO_TUNE_DB`` is
+#: set (relative to the working directory, like a lockfile).
+DEFAULT_DB_PATH = "tune.json"
+
+#: Schema version of the on-disk format.
+DB_VERSION = 1
+
+
+def _graph_content_hash(graph) -> str:
+    """SHA-256 over the CSR arrays (original layout for relabeled
+    graphs, so a graph and its relabeled view share a fingerprint)."""
+    base = graph.to_original() if hasattr(graph, "to_original") else graph
+    h = hashlib.sha256()
+    h.update(base.indptr.tobytes())
+    h.update(base.indices.tobytes())
+    if base.weights is not None:
+        h.update(base.weights.tobytes())
+    return h.hexdigest()[:16]
+
+
+def graph_fingerprint(app_name: str, graph,
+                      backends: Optional[tuple] = None) -> str:
+    """Deterministic database key for one (app, graph, host) triple."""
+    if backends is None:
+        from repro.native.backend import available_backends
+        backends = available_backends()
+    name = getattr(graph, "name", "graph")
+    if hasattr(graph, "to_original"):
+        name = graph.to_original().name
+    return "|".join([
+        app_name, name, str(graph.num_vertices), str(graph.num_edges),
+        _graph_content_hash(graph), "+".join(sorted(backends)),
+    ])
+
+
+def resolve_db_path(path: Optional[str] = None) -> str:
+    """``path`` if given, else ``$REPRO_TUNE_DB``, else the default."""
+    if path is not None:
+        return path
+    return os.environ.get(DB_ENV) or DEFAULT_DB_PATH
+
+
+class TuneDB:
+    """The JSON tuning database: fingerprint -> best-known config."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = resolve_db_path(path)
+        self.data: Dict[str, Any] = {"version": DB_VERSION, "entries": {}}
+        if os.path.exists(self.path):
+            self.data = self._load(self.path)
+
+    @staticmethod
+    def _load(path: str) -> Dict[str, Any]:
+        with open(path) as f:
+            data = json.load(f)
+        problems = TuneDB.validate_data(data)
+        if problems:
+            raise ValueError(
+                f"invalid tuning database {path}: {problems[0]}")
+        return data
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def entries(self) -> Dict[str, Any]:
+        return self.data["entries"]
+
+    def lookup(self, app_name: str, graph) -> Optional[TuneConfig]:
+        """Best-known config for this (app, graph, host), or None."""
+        entry = self.entries.get(graph_fingerprint(app_name, graph))
+        if entry is None:
+            return None
+        return TuneConfig.from_dict(entry["config"])
+
+    def get_entry(self, app_name: str, graph) -> Optional[Dict[str, Any]]:
+        """The full stored record (config + scores), or None."""
+        return self.entries.get(graph_fingerprint(app_name, graph))
+
+    # -- updates -------------------------------------------------------
+
+    def record(self, app_name: str, graph, config: TuneConfig, *,
+               objective: str, score: float, baseline: float,
+               trials: int) -> str:
+        """Store the winning config for one pair; returns the key.
+
+        ``score`` and ``baseline`` are objective values (seconds) of
+        the tuned and default configurations; their ratio is the
+        speedup the database claims.
+        """
+        key = graph_fingerprint(app_name, graph)
+        name = getattr(graph, "name", "graph")
+        if hasattr(graph, "to_original"):
+            name = graph.to_original().name
+        self.entries[key] = {
+            "app": app_name,
+            "graph": name,
+            "config": config.to_dict(),
+            "objective": objective,
+            "score": float(score),
+            "baseline": float(baseline),
+            "speedup": float(baseline / score) if score > 0 else 0.0,
+            "trials": int(trials),
+        }
+        return key
+
+    def save(self) -> str:
+        """Atomically write the database; returns the path written."""
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".tune-", suffix=".json",
+                                   dir=directory)
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(self.data, f, indent=2, sort_keys=True)
+                f.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return self.path
+
+    # -- validation (CI's tune-smoke job) ------------------------------
+
+    @staticmethod
+    def validate_data(data: Any) -> list:
+        """Schema problems of a parsed database (empty list = valid)."""
+        problems = []
+        if not isinstance(data, dict):
+            return ["top level is not an object"]
+        if data.get("version") != DB_VERSION:
+            problems.append(
+                f"version {data.get('version')!r} != {DB_VERSION}")
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            return problems + ["'entries' is not an object"]
+        required = ("app", "graph", "config", "objective", "score",
+                    "baseline", "speedup", "trials")
+        for key, entry in entries.items():
+            if not isinstance(entry, dict):
+                problems.append(f"entry {key!r} is not an object")
+                continue
+            missing = [k for k in required if k not in entry]
+            if missing:
+                problems.append(
+                    f"entry {key!r} missing {', '.join(missing)}")
+                continue
+            try:
+                TuneConfig.from_dict(entry["config"])
+            except (TypeError, ValueError) as exc:
+                problems.append(f"entry {key!r} config invalid: {exc}")
+        return problems
+
+    def validate(self) -> list:
+        return self.validate_data(self.data)

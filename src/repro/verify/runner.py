@@ -41,6 +41,11 @@ def _native(workers, seed):
     return run_native_checks(workers=workers, seed=seed)
 
 
+def _tune(workers, seed):
+    from repro.verify.tune import run_tune_checks
+    return run_tune_checks(workers=workers, seed=seed)
+
+
 #: suite name -> runner(workers, seed) -> [CheckResult]
 SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
     "stat": _stat,
@@ -49,6 +54,7 @@ SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
     "fuzz": _fuzz,
     "chaos": _chaos,
     "native": _native,
+    "tune": _tune,
 }
 
 SUITE_NAMES: Tuple[str, ...] = tuple(SUITES)

@@ -1,0 +1,270 @@
+"""Locality-aware CSR relabeling: accessor parity + bitwise round trip.
+
+The contract: relabeling is a pure vertex permutation applied at graph
+load and inverted on output, so ``permute -> sample ->
+inverse-permute`` is bitwise-identical to sampling the unpermuted
+graph — across every engine, worker count, and app family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import apps
+from repro.baselines import (
+    FrontierEngine,
+    KnightKingEngine,
+    MessagePassingEngine,
+    ReferenceSamplerEngine,
+    SampleParallelEngine,
+    VanillaTPEngine,
+)
+from repro.core.engine import NextDoorEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_graph
+from repro.graph.relabel import (
+    RELABEL_ORDERS,
+    RelabeledCSRGraph,
+    canonicalize_array,
+    degree_order_permutation,
+    relabel_graph,
+)
+from repro.api.types import NULL_VERTEX
+
+
+@pytest.fixture(scope="module")
+def plain():
+    return rmat_graph(600, 3600, seed=7, name="relabel-rmat")
+
+
+@pytest.fixture(scope="module")
+def weighted(plain):
+    return plain.with_random_weights(seed=7)
+
+
+@pytest.fixture(scope="module")
+def relabeled(plain):
+    return relabel_graph(plain, "degree")
+
+
+class TestPermutation:
+    def test_degree_order_is_permutation(self, plain):
+        perm = degree_order_permutation(plain)
+        assert np.array_equal(np.sort(perm),
+                              np.arange(plain.num_vertices))
+
+    def test_high_degree_vertices_get_low_ids(self, plain):
+        perm = degree_order_permutation(plain)
+        degrees = plain.degrees()
+        new_deg = np.empty_like(degrees)
+        new_deg[perm] = degrees
+        assert np.all(np.diff(new_deg) <= 0)
+
+    def test_stable_within_equal_degree(self, plain):
+        perm = degree_order_permutation(plain)
+        degrees = plain.degrees()
+        canonical_of = np.argsort(perm)
+        for new_id in range(1, plain.num_vertices):
+            a, b = canonical_of[new_id - 1], canonical_of[new_id]
+            if degrees[a] == degrees[b]:
+                assert a < b  # stable sort: original order preserved
+
+
+class TestAccessorParity:
+    """Every CSRGraph accessor agrees with the plain graph modulo the
+    permutation."""
+
+    def test_counts(self, plain, relabeled):
+        assert relabeled.num_vertices == plain.num_vertices
+        assert relabeled.num_edges == plain.num_edges
+
+    def test_degrees(self, plain, relabeled):
+        perm = relabeled.perm
+        for v in range(plain.num_vertices):
+            assert relabeled.degree(int(perm[v])) == plain.degree(v)
+
+    def test_degrees_array(self, plain, relabeled):
+        assert np.array_equal(relabeled.degrees_array[relabeled.perm],
+                              plain.degrees_array)
+
+    def test_neighbors_are_permuted(self, plain, relabeled):
+        perm = relabeled.perm
+        for v in range(0, plain.num_vertices, 37):
+            expected = perm[plain.neighbors(v)]
+            assert np.array_equal(relabeled.neighbors(int(perm[v])),
+                                  expected)
+
+    def test_has_edge(self, plain, relabeled):
+        perm = relabeled.perm
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            u = int(rng.integers(plain.num_vertices))
+            w = int(rng.integers(plain.num_vertices))
+            assert relabeled.has_edge(int(perm[u]), int(perm[w])) == \
+                plain.has_edge(u, w)
+
+    def test_has_edges_bulk(self, plain, relabeled):
+        perm = relabeled.perm
+        rng = np.random.default_rng(4)
+        us = rng.integers(plain.num_vertices, size=200)
+        ws = rng.integers(plain.num_vertices, size=200)
+        assert np.array_equal(relabeled.has_edges(perm[us], perm[ws]),
+                              plain.has_edges(us, ws))
+
+    def test_non_isolated_round_trips(self, plain, relabeled):
+        got = relabeled.canonical_of[relabeled.non_isolated_vertices()]
+        assert np.array_equal(got, plain.non_isolated_vertices())
+
+    def test_weight_caches_bitwise(self, weighted):
+        rel = relabel_graph(weighted, "degree")
+        # The edge arrays keep the original physical layout, so every
+        # float accumulation is the exact same op sequence.
+        assert np.array_equal(rel.global_weight_cumsum(),
+                              weighted.global_weight_cumsum())
+        base, total = rel.weight_row_spans()
+        pbase, ptotal = weighted.weight_row_spans()
+        canon = rel.canonical_of
+        assert np.array_equal(base[np.argsort(canon)][canon],
+                              base[np.arange(len(base))])  # sanity
+        assert np.array_equal(base, pbase[canon])
+        assert np.array_equal(total, ptotal[canon])
+        assert np.array_equal(rel.row_max_weight(),
+                              weighted.row_max_weight()[canon])
+
+    def test_to_original(self, plain, relabeled):
+        orig = relabeled.to_original()
+        assert np.array_equal(orig.indptr, plain.indptr)
+        assert np.array_equal(orig.indices, plain.indices)
+        assert orig.name == plain.name
+
+    def test_double_relabel_rejected(self, relabeled):
+        with pytest.raises(ValueError):
+            relabel_graph(relabeled, "degree")
+
+    def test_unknown_order_rejected(self, plain):
+        with pytest.raises(ValueError):
+            relabel_graph(plain, "bfs")
+
+    def test_repr_names_order(self, relabeled):
+        assert "degree" in repr(relabeled)
+        assert isinstance(relabeled, RelabeledCSRGraph)
+        assert isinstance(relabeled, CSRGraph)
+
+
+class TestCanonicalizeArray:
+    def test_preserves_null(self):
+        canon = np.array([2, 0, 1], dtype=np.int64)
+        arr = np.array([0, NULL_VERTEX, 2], dtype=np.int64)
+        out = canonicalize_array(arr, canon)
+        assert out[0] == 2
+        assert out[1] == NULL_VERTEX
+        assert out[2] == 1
+
+
+def _digest(batch):
+    parts = [batch.roots.tobytes()]
+    parts += [a.tobytes() for a in batch.step_vertices]
+    parts += [a.tobytes() for a in (batch.edges or ())]
+    return b"".join(parts)
+
+
+#: Engines x the apps they support (KnightKing only walks).
+ENGINE_CASES = [
+    (NextDoorEngine, "DeepWalk"),
+    (NextDoorEngine, "k-hop"),
+    (SampleParallelEngine, "DeepWalk"),
+    (VanillaTPEngine, "k-hop"),
+    (FrontierEngine, "DeepWalk"),
+    (MessagePassingEngine, "k-hop"),
+    (ReferenceSamplerEngine, "DeepWalk"),
+    (KnightKingEngine, "DeepWalk"),
+]
+
+
+def _paper_app(name):
+    from repro.bench.runner import paper_app
+    return paper_app(name)
+
+
+class TestBitwiseRoundTrip:
+    @pytest.mark.parametrize("engine_cls,app_name", ENGINE_CASES)
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_all_engines(self, plain, relabeled, engine_cls, app_name,
+                         workers):
+        expected = engine_cls(workers=workers).run(
+            _paper_app(app_name), plain, num_samples=64, seed=11)
+        actual = engine_cls(workers=workers).run(
+            _paper_app(app_name), relabeled, num_samples=64, seed=11)
+        assert _digest(actual.batch) == _digest(expected.batch)
+
+    @pytest.mark.parametrize("app_name", ["FastGCN", "LADIES",
+                                          "ClusterGCN", "MVS",
+                                          "MultiRW", "PPR", "Layer",
+                                          "node2vec"])
+    def test_all_apps_nextdoor(self, plain, relabeled, app_name):
+        expected = NextDoorEngine().run(_paper_app(app_name), plain,
+                                        num_samples=48, seed=13)
+        actual = NextDoorEngine().run(_paper_app(app_name), relabeled,
+                                      num_samples=48, seed=13)
+        assert _digest(actual.batch) == _digest(expected.batch)
+
+    def test_weighted_walk(self, weighted):
+        rel = relabel_graph(weighted, "degree")
+        app = apps.DeepWalk(walk_length=8)
+        expected = NextDoorEngine().run(app, weighted, num_samples=64,
+                                        seed=5)
+        actual = NextDoorEngine().run(apps.DeepWalk(walk_length=8), rel,
+                                      num_samples=64, seed=5)
+        assert _digest(actual.batch) == _digest(expected.batch)
+
+    def test_explicit_roots_are_original_ids(self, plain, relabeled):
+        roots = np.array([5, 17, 3, 5], dtype=np.int64)
+        app = apps.DeepWalk(walk_length=6)
+        expected = NextDoorEngine().run(app, plain, roots=roots, seed=2)
+        actual = NextDoorEngine().run(apps.DeepWalk(walk_length=6),
+                                      relabeled, roots=roots, seed=2)
+        assert np.array_equal(actual.batch.roots.ravel(), roots)
+        assert _digest(actual.batch) == _digest(expected.batch)
+
+    def test_multi_gpu(self, plain, relabeled):
+        app = apps.DeepWalk(walk_length=6)
+        expected = NextDoorEngine().run(app, plain, num_samples=64,
+                                        seed=3, num_devices=2)
+        actual = NextDoorEngine().run(apps.DeepWalk(walk_length=6),
+                                      relabeled, num_samples=64, seed=3,
+                                      num_devices=2)
+        assert _digest(actual.batch) == _digest(expected.batch)
+
+    def test_modeled_charges_identical(self, plain, relabeled):
+        """Canonical grouping keeps the kernel plan — and therefore
+        the modeled charges — identical, not just the samples."""
+        app = apps.KHop(fanouts=(6, 3))
+        expected = NextDoorEngine().run(app, plain, num_samples=64,
+                                        seed=9)
+        actual = NextDoorEngine().run(apps.KHop(fanouts=(6, 3)),
+                                      relabeled, num_samples=64, seed=9)
+        assert actual.seconds == expected.seconds
+        assert actual.metrics.as_dict() == expected.metrics.as_dict()
+
+
+class TestSharedMemory:
+    def test_relabeled_graph_round_trips_through_shm(self, relabeled):
+        from repro.runtime import shm
+        handle = shm.export_graph(relabeled)
+        try:
+            imported = shm.import_graph(handle)
+            try:
+                assert isinstance(imported, RelabeledCSRGraph)
+                assert np.array_equal(imported.perm, relabeled.perm)
+                assert np.array_equal(imported.canonical_of,
+                                      relabeled.canonical_of)
+                assert np.array_equal(imported.degrees_array,
+                                      relabeled.degrees_array)
+                assert np.array_equal(imported.indptr, relabeled.indptr)
+                assert imported.relabel_order == "degree"
+            finally:
+                shm.close_imported(imported)
+        finally:
+            shm.release_graph(relabeled)
+
+    def test_orders_registry(self):
+        assert RELABEL_ORDERS == ("degree",)

@@ -1,0 +1,343 @@
+"""Autotuner: TuneConfig semantics, the database, the search, the CLI."""
+
+import io
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import apps
+from repro.cli import main
+from repro.core.engine import NextDoorEngine
+from repro.core.scheduling import KernelPlanConfig
+from repro.graph.generators import rmat_graph
+from repro.tune import (
+    DB_ENV,
+    DEFAULT_TUNE,
+    TuneConfig,
+    TuneDB,
+    graph_fingerprint,
+)
+from repro.tune.search import autotune
+
+
+@pytest.fixture()
+def graph():
+    return rmat_graph(400, 2400, seed=19, name="tune-test-rmat")
+
+
+class TestTuneConfig:
+    def test_defaults_are_default(self):
+        assert DEFAULT_TUNE.is_default
+        assert DEFAULT_TUNE.describe() == "default"
+
+    def test_describe_lists_non_defaults(self):
+        cfg = TuneConfig(backend="cnative", chunk_size=1024)
+        assert "backend=cnative" in cfg.describe()
+        assert "chunk_size=1024" in cfg.describe()
+        assert "subwarp_limit" not in cfg.describe()
+
+    def test_dict_round_trip(self):
+        cfg = TuneConfig(backend="numpy", chunk_size=256, inflight=2,
+                         subwarp_limit=16, block_limit=512,
+                         relabel="degree")
+        assert TuneConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown TuneConfig"):
+            TuneConfig.from_dict({"warp_size": 64})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"chunk_size": 0}, {"chunk_size": -5}, {"inflight": 0},
+        {"subwarp_limit": 0}, {"subwarp_limit": 64, "block_limit": 32},
+        {"backend": "cuda"}, {"relabel": "random"},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TuneConfig(**kwargs)
+
+    def test_apply_to_plan_preserves_other_fields(self):
+        plan = KernelPlanConfig(enable_load_balancing=False)
+        out = TuneConfig(subwarp_limit=8, block_limit=256) \
+            .apply_to_plan(plan)
+        assert out.subwarp_limit == 8
+        assert out.block_limit == 256
+        assert out.enable_load_balancing is False
+
+    def test_engine_applies_thresholds_and_chunk(self):
+        engine = NextDoorEngine(
+            tune=TuneConfig(subwarp_limit=16, block_limit=512,
+                            chunk_size=128))
+        assert engine.config.subwarp_limit == 16
+        assert engine.config.block_limit == 512
+        assert engine.chunk_size == 128
+
+    def test_explicit_chunk_beats_tuned(self):
+        engine = NextDoorEngine(tune=TuneConfig(chunk_size=128),
+                                chunk_size=64)
+        assert engine.chunk_size == 64
+
+
+class TestTuneDB:
+    def test_env_var_names_path(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env.json")
+        monkeypatch.setenv(DB_ENV, path)
+        assert TuneDB().path == path
+
+    def test_explicit_path_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DB_ENV, str(tmp_path / "env.json"))
+        assert TuneDB(str(tmp_path / "flag.json")).path == \
+            str(tmp_path / "flag.json")
+
+    def test_record_save_load(self, tmp_path, graph):
+        path = str(tmp_path / "db.json")
+        db = TuneDB(path)
+        cfg = TuneConfig(backend="cnative", relabel="degree")
+        db.record("DeepWalk", graph, cfg, objective="wallclock",
+                  score=0.25, baseline=1.0, trials=9)
+        db.save()
+        reloaded = TuneDB(path)
+        assert reloaded.lookup("DeepWalk", graph) == cfg
+        entry = reloaded.get_entry("DeepWalk", graph)
+        assert entry["speedup"] == pytest.approx(4.0)
+        assert entry["trials"] == 9
+        assert reloaded.validate() == []
+
+    def test_lookup_misses_are_none(self, tmp_path, graph):
+        db = TuneDB(str(tmp_path / "db.json"))
+        assert db.lookup("DeepWalk", graph) is None
+
+    def test_fingerprint_tracks_content(self, graph):
+        other = rmat_graph(400, 2400, seed=23, name="tune-test-rmat")
+        assert graph_fingerprint("DeepWalk", graph) != \
+            graph_fingerprint("DeepWalk", other)
+
+    def test_fingerprint_shared_with_relabeled_view(self, graph):
+        from repro.graph.relabel import relabel_graph
+        assert graph_fingerprint("DeepWalk", graph) == \
+            graph_fingerprint("DeepWalk", relabel_graph(graph))
+
+    def test_save_is_atomic_and_sorted(self, tmp_path, graph):
+        path = str(tmp_path / "db.json")
+        db = TuneDB(path)
+        db.record("DeepWalk", graph, TuneConfig(), objective="model",
+                  score=1.0, baseline=1.0, trials=1)
+        db.save()
+        text = open(path).read()
+        assert json.loads(text)["version"] == 1
+        assert not [n for n in os.listdir(tmp_path)
+                    if n.startswith(".tune-")]
+
+    def test_validate_flags_bad_schema(self):
+        assert TuneDB.validate_data([]) == ["top level is not an object"]
+        assert TuneDB.validate_data({"version": 99, "entries": {}})
+        bad_entry = {"version": 1, "entries": {"k": {"app": "x"}}}
+        assert any("missing" in p
+                   for p in TuneDB.validate_data(bad_entry))
+        bad_cfg = {"version": 1, "entries": {"k": {
+            "app": "x", "graph": "g", "config": {"bogus": 1},
+            "objective": "model", "score": 1.0, "baseline": 1.0,
+            "speedup": 1.0, "trials": 1}}}
+        assert any("config invalid" in p
+                   for p in TuneDB.validate_data(bad_cfg))
+
+    def test_corrupt_db_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "entries": {}}')
+        with pytest.raises(ValueError, match="invalid tuning database"):
+            TuneDB(str(path))
+
+
+class TestSearch:
+    def test_model_objective_is_deterministic(self, tmp_path, graph):
+        db_path = str(tmp_path / "db.json")
+        app = apps.DeepWalk(walk_length=6)
+        s1 = autotune(app, graph, db=TuneDB(db_path), objective="model",
+                      budget=5, num_samples=64, save=False)
+        s2 = autotune(apps.DeepWalk(walk_length=6), graph,
+                      db=TuneDB(db_path), objective="model", budget=5,
+                      num_samples=64, save=False)
+        assert s1["config"] == s2["config"]
+        assert s1["score"] == s2["score"]
+        assert s1["trials"] == s2["trials"] == 5
+
+    def test_budget_caps_trials(self, tmp_path, graph):
+        summary = autotune(apps.DeepWalk(walk_length=4), graph,
+                           db=TuneDB(str(tmp_path / "db.json")),
+                           objective="model", budget=2, num_samples=32,
+                           save=False)
+        assert summary["trials"] == 2
+
+    def test_records_in_db_and_saves(self, tmp_path, graph):
+        db = TuneDB(str(tmp_path / "db.json"))
+        summary = autotune(apps.KHop(fanouts=(4, 2)), graph, db=db,
+                           objective="model", budget=4, num_samples=64)
+        assert os.path.exists(summary["db_path"])
+        reloaded = TuneDB(summary["db_path"])
+        assert reloaded.lookup(summary["app"], graph) == \
+            TuneConfig.from_dict(summary["config"])
+        assert reloaded.validate() == []
+
+    def test_history_carries_model_counters(self, tmp_path, graph):
+        summary = autotune(apps.DeepWalk(walk_length=4), graph,
+                           db=TuneDB(str(tmp_path / "db.json")),
+                           objective="model", budget=3, num_samples=32,
+                           save=False)
+        assert all(t["counters"] is not None
+                   for t in summary["history"])
+        assert "sm_busy_cycles" in summary["history"][0]["counters"]
+
+    def test_rejects_bad_arguments(self, tmp_path, graph):
+        app = apps.DeepWalk(walk_length=4)
+        db = TuneDB(str(tmp_path / "db.json"))
+        with pytest.raises(ValueError, match="objective"):
+            autotune(app, graph, db=db, objective="latency")
+        with pytest.raises(ValueError, match="budget"):
+            autotune(app, graph, db=db, budget=0)
+        with pytest.raises(ValueError, match="repeats"):
+            autotune(app, graph, db=db, repeats=0)
+
+    def test_tuned_samples_match_default_when_chunk_untouched(
+            self, graph):
+        """Whatever the search picks (chunk size aside), applying it
+        must not change sampled values."""
+        cfg = TuneConfig(backend="cnative", relabel="degree",
+                         subwarp_limit=16, block_limit=512)
+        app = apps.DeepWalk(walk_length=6)
+        base = NextDoorEngine().run(app, graph, num_samples=64, seed=7)
+        tuned = NextDoorEngine(tune=cfg).run(
+            apps.DeepWalk(walk_length=6), graph, num_samples=64, seed=7)
+        for a, b in zip(base.batch.step_vertices,
+                        tuned.batch.step_vertices):
+            assert np.array_equal(a, b)
+
+    def test_full_stage_sweep_completes(self, tmp_path, graph):
+        """A budget large enough to reach every stage — including the
+        kernel-threshold sweep — must not trip the kernel model's
+        block-shape limits."""
+        summary = autotune(apps.KHop(fanouts=(8, 4)), graph,
+                           db=TuneDB(str(tmp_path / "db.json")),
+                           objective="model", budget=32, num_samples=128,
+                           save=False)
+        assert summary["trials"] <= 32
+        cfg = TuneConfig.from_dict(summary["config"])
+        assert cfg.block_limit <= 1024
+
+    def test_infeasible_config_is_skipped(self, tmp_path, graph):
+        """A config the kernel model rejects is counted as infeasible,
+        not a crash."""
+        from repro.obs import get_metrics
+        from repro.tune.search import _Search
+        # 2000 draws from one transit -> 63 warps/block at
+        # block_limit=2048, past the 32-warp hardware cap.
+        search = _Search(apps.KHop(fanouts=(2000,)), graph,
+                         objective="model", budget=4, num_samples=4,
+                         seed=0, workers=None, repeats=1,
+                         engine_cls=None)
+        before = get_metrics().snapshot("tune.").get(
+            "tune.infeasible", 0)
+        assert search.consider(TuneConfig(block_limit=2048)) is True
+        assert search.history == []  # nothing recorded
+        after = get_metrics().snapshot("tune.")["tune.infeasible"]
+        assert after == before + 1
+
+    def test_metrics_counters_bump(self, tmp_path, graph):
+        from repro.obs import get_metrics
+        before = get_metrics().snapshot("tune.").get("tune.trials", 0)
+        autotune(apps.DeepWalk(walk_length=4), graph,
+                 db=TuneDB(str(tmp_path / "db.json")),
+                 objective="model", budget=2, num_samples=32,
+                 save=False)
+        after = get_metrics().snapshot("tune.")["tune.trials"]
+        assert after == before + 2
+
+
+class TestCLI:
+    def test_chunk_size_validation(self):
+        out = io.StringIO()
+        code = main(["sample", "--app", "DeepWalk", "--graph", "ppi",
+                     "--samples", "8", "--chunk-size", "0"], out=out)
+        assert code == 2
+        assert "--chunk-size must be >= 1" in out.getvalue()
+
+    def test_chunk_size_negative(self):
+        out = io.StringIO()
+        code = main(["sample", "--app", "DeepWalk", "--graph", "ppi",
+                     "--samples", "8", "--chunk-size", "-4"], out=out)
+        assert code == 2
+        assert "error:" in out.getvalue()
+
+    def test_tune_then_tuned_sample(self, tmp_path):
+        db_path = str(tmp_path / "db.json")
+        out = io.StringIO()
+        code = main(["tune", "--app", "DeepWalk", "--graph", "ppi",
+                     "--objective", "model", "--budget", "3",
+                     "--samples", "64", "--db", db_path], out=out)
+        assert code == 0, out.getvalue()
+        assert "saved to" in out.getvalue()
+        assert TuneDB(db_path).validate() == []
+        out = io.StringIO()
+        code = main(["sample", "--app", "DeepWalk", "--graph", "ppi",
+                     "--samples", "32", "--tuned",
+                     "--tune-db", db_path], out=out)
+        assert code == 0, out.getvalue()
+        assert "tuned config:" in out.getvalue()
+
+    def test_explicit_backend_flag_beats_tuned_backend(self, tmp_path):
+        """Precedence: --backend on the command line wins over the
+        tuning database's backend, like it wins over $REPRO_BACKEND."""
+        from repro.bench.runner import paper_graph
+        db_path = str(tmp_path / "db.json")
+        db = TuneDB(db_path)
+        graph = paper_graph("ppi", "DeepWalk", seed=0)
+        db.record("DeepWalk", graph,
+                  TuneConfig(backend="cnative", chunk_size=1024),
+                  objective="wallclock", score=0.5, baseline=1.0,
+                  trials=3)
+        db.save()
+        out = io.StringIO()
+        code = main(["sample", "--app", "DeepWalk", "--graph", "ppi",
+                     "--samples", "16", "--tuned", "--tune-db", db_path,
+                     "--backend", "numpy"], out=out)
+        assert code == 0, out.getvalue()
+        text = out.getvalue()
+        # The rest of the tuned config still applies...
+        assert "chunk_size=1024" in text
+        # ...but the database's backend choice is dropped.
+        assert "backend=cnative" not in text
+
+    def test_tuned_env_var(self, tmp_path, monkeypatch):
+        db_path = str(tmp_path / "db.json")
+        monkeypatch.setenv("REPRO_TUNED", "1")
+        monkeypatch.setenv(DB_ENV, db_path)
+        out = io.StringIO()
+        code = main(["sample", "--app", "DeepWalk", "--graph", "ppi",
+                     "--samples", "16"], out=out)
+        assert code == 0, out.getvalue()
+        assert "no tuning entry" in out.getvalue()
+
+    def test_tuned_rejected_for_cpu_engines(self):
+        out = io.StringIO()
+        code = main(["sample", "--app", "DeepWalk", "--graph", "ppi",
+                     "--samples", "8", "--engine", "reference",
+                     "--tuned"], out=out)
+        assert code == 2
+        assert "NextDoor-family" in out.getvalue()
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--budget", "0"), ("--repeats", "0"), ("--samples", "0"),
+    ])
+    def test_tune_flag_validation(self, flag, value):
+        out = io.StringIO()
+        code = main(["tune", "--app", "DeepWalk", "--graph", "ppi",
+                     flag, value], out=out)
+        assert code == 2
+        assert "error:" in out.getvalue()
+
+    def test_tune_unknown_graph(self):
+        out = io.StringIO()
+        code = main(["tune", "--app", "DeepWalk", "--graph",
+                     "nope-graph"], out=out)
+        assert code == 2
+        assert "unknown graph" in out.getvalue()
