@@ -86,7 +86,7 @@ from repro.native.backend import (  # noqa: E402
     resolve_backend_name,
 )
 from repro.native.jit import HAVE_NUMBA, NUMBA_VERSION  # noqa: E402
-from repro.obs import stats_summary, trace  # noqa: E402
+from repro.obs import get_metrics, stats_summary, trace  # noqa: E402
 from repro.runtime import DEFAULT_CHUNK_PAIRS  # noqa: E402
 
 __all__ = ["run_wallclock", "run_stage_breakdown", "run_backend_comparison",
@@ -195,6 +195,11 @@ def run_wallclock(quick: bool = False, repeats: Optional[int] = None,
         "numpy": np.__version__,
         "platform": platform.platform(),
         "git_sha": _git_sha(),
+        # Post-run metric snapshot (labeled families expand to their
+        # series; histograms carry percentiles + cumulative buckets) so
+        # a trajectory entry records *how* its numbers were produced —
+        # e.g. per-stage engine.stage_seconds percentiles per backend.
+        "metrics": get_metrics().snapshot(),
         "results": results,
     }
 
@@ -492,6 +497,9 @@ def test_wallclock_smoke(tmp_path):
     assert report["numpy"] == np.__version__
     assert report["platform"]
     assert report["backend"] == "numpy"
+    # The report embeds a post-run metric snapshot (and it must be
+    # JSON-serializable — the json.dumps below covers that).
+    assert "engine.stage_seconds" in report["metrics"]
     # Untuned runs record "default" as the active config per workload.
     assert all(v == "default" for v in report["tune"].values())
     report["stage_breakdown"] = run_stage_breakdown(quick=True)

@@ -1,0 +1,240 @@
+"""Perf-regression sentinel: compare benchmark runs against a baseline.
+
+The repo's perf trajectory lives in committed JSON reports
+(``BENCH_wallclock.json``, ``BENCH_autotune.json``).  This module turns
+a fresh run plus one of those files into a machine-readable verdict:
+per-cell wall-clock ratios, a list of regressions beyond a noise
+tolerance, and an overall ``ok`` flag.  ``repro bench check`` is the
+CLI front-end; CI runs it non-blocking so a slow cell is visible in the
+job log without turning timing noise into a red build.
+
+Noise handling, in order of importance:
+
+- Benchmark cells are already min-of-N (``repeats``), the noise-robust
+  estimator for wall time, so the sentinel compares single numbers.
+- A *relative* tolerance (default 15%) absorbs scheduler jitter; a
+  cell is a regression only when ``current > baseline * (1 + tol)``.
+- Cells faster than ``min_seconds`` on either side are skipped — a 2ms
+  cell doubling is measurement noise, not a regression.
+- Reports taken under different conditions (mode, workers, backend,
+  chunk size) are *incomparable*: the verdict says so and ``ok`` stays
+  True, because comparing them would produce meaningless ratios.
+  Host differences (platform, cpu_count) downgrade to warnings — the
+  committed baseline usually comes from another machine, and the
+  caller decides how much to trust cross-host ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "MIN_SECONDS",
+    "compare_autotune",
+    "compare_wallclock",
+    "compare_reports",
+    "format_verdict",
+    "load_report",
+]
+
+#: Relative slowdown a cell must exceed to count as a regression.
+DEFAULT_TOLERANCE = 0.15
+
+#: Cells faster than this (seconds) on either side are never flagged —
+#: at single-millisecond scale, timer and scheduler noise dominates.
+MIN_SECONDS = 0.005
+
+#: Metadata keys that must match for wall-clock ratios to mean
+#: anything.  A pooled run is not comparable to an in-process one; a
+#: compiled backend is not comparable to numpy.
+_WALLCLOCK_GATES = ("mode", "workers", "backend", "chunk_size")
+
+#: Same-host keys: a mismatch degrades confidence but does not make
+#: the comparison meaningless, so these only warn.
+_HOST_KEYS = ("platform", "cpu_count", "python", "numpy")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a benchmark report JSON; raises ``ValueError`` with a
+    readable message on missing/unparseable files."""
+    if not os.path.exists(path):
+        raise ValueError(f"benchmark report not found: {path}")
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"unreadable benchmark report {path}: {exc}")
+    if not isinstance(report, dict) or "results" not in report:
+        raise ValueError(f"not a benchmark report (no 'results'): {path}")
+    return report
+
+
+def _gate(baseline: Dict, current: Dict, keys) -> List[str]:
+    reasons = []
+    for key in keys:
+        b, c = baseline.get(key), current.get(key)
+        if b != c:
+            reasons.append(f"{key}: baseline={b!r} current={c!r}")
+    return reasons
+
+
+def _verdict_skeleton(kind: str, tolerance: float,
+                      baseline: Dict, current: Dict,
+                      gates) -> Dict[str, Any]:
+    reasons = _gate(baseline, current, gates)
+    return {
+        "kind": kind,
+        "tolerance": float(tolerance),
+        "comparable": not reasons,
+        "incomparable_reasons": reasons,
+        "warnings": [f"host {w}" for w
+                     in _gate(baseline, current, _HOST_KEYS)],
+        "baseline_sha": baseline.get("git_sha"),
+        "current_sha": current.get("git_sha"),
+        "cells": [],
+        "regressions": [],
+        "ok": True,
+    }
+
+
+def _compare_cell(verdict: Dict, name: str, base_s, cur_s,
+                  min_seconds: float) -> None:
+    """Score one (name, baseline seconds, current seconds) cell into
+    ``verdict`` — shared by the wallclock and autotune paths."""
+    if not isinstance(base_s, (int, float)) or \
+            not isinstance(cur_s, (int, float)) or base_s <= 0:
+        return
+    cell = {
+        "name": name,
+        "baseline_s": float(base_s),
+        "current_s": float(cur_s),
+        "ratio": float(cur_s) / float(base_s),
+        "regressed": False,
+        "skipped": None,
+    }
+    if base_s < min_seconds and cur_s < min_seconds:
+        cell["skipped"] = (f"both sides under {min_seconds*1e3:.0f}ms "
+                           "noise floor")
+    elif cell["ratio"] > 1.0 + verdict["tolerance"]:
+        cell["regressed"] = True
+        verdict["regressions"].append(name)
+    verdict["cells"].append(cell)
+
+
+def compare_wallclock(baseline: Dict, current: Dict,
+                      tolerance: float = DEFAULT_TOLERANCE,
+                      min_seconds: float = MIN_SECONDS) -> Dict[str, Any]:
+    """Compare two ``bench_wallclock`` reports cell-by-cell.
+
+    Returns the verdict dict (see module docstring).  ``ok`` is False
+    only when the reports are comparable *and* at least one shared
+    (workload, engine) cell slowed past the tolerance.
+    """
+    verdict = _verdict_skeleton("wallclock", tolerance, baseline,
+                                current, _WALLCLOCK_GATES)
+    if not verdict["comparable"]:
+        return verdict
+    base_results = baseline.get("results", {})
+    for wl, engines in sorted(current.get("results", {}).items()):
+        for eng, cell in sorted(engines.items()):
+            base_cell = base_results.get(wl, {}).get(eng)
+            if base_cell is None:
+                verdict["warnings"].append(
+                    f"cell {wl}/{eng} absent from baseline")
+                continue
+            _compare_cell(verdict, f"{wl}/{eng}",
+                          base_cell.get("seconds"), cell.get("seconds"),
+                          min_seconds)
+    if not verdict["cells"]:
+        verdict["warnings"].append("no shared cells to compare")
+    verdict["ok"] = not verdict["regressions"]
+    return verdict
+
+
+def compare_autotune(baseline: Dict, current: Dict,
+                     tolerance: float = DEFAULT_TOLERANCE,
+                     min_seconds: float = MIN_SECONDS) -> Dict[str, Any]:
+    """Compare two ``bench_autotune`` reports on tuned seconds per
+    (app, graph) pair.  The tuned time is the number the autotuner
+    promises; the default time rides along as a warning-only check."""
+    verdict = _verdict_skeleton("autotune", tolerance, baseline,
+                                current, ("mode", "objective", "seed"))
+    if not verdict["comparable"]:
+        return verdict
+    base_results = baseline.get("results", {})
+    for pair, cell in sorted(current.get("results", {}).items()):
+        base_cell = base_results.get(pair)
+        if base_cell is None:
+            verdict["warnings"].append(
+                f"pair {pair} absent from baseline")
+            continue
+        _compare_cell(verdict, pair, base_cell.get("tuned_seconds"),
+                      cell.get("tuned_seconds"), min_seconds)
+        b_def, c_def = (base_cell.get("default_seconds"),
+                        cell.get("default_seconds"))
+        if isinstance(b_def, (int, float)) and \
+                isinstance(c_def, (int, float)) and b_def > 0 and \
+                max(b_def, c_def) >= min_seconds and \
+                c_def / b_def > 1.0 + tolerance:
+            verdict["warnings"].append(
+                f"pair {pair} default config slowed "
+                f"{c_def / b_def:.2f}x (tuned time still in tolerance)")
+    if not verdict["cells"]:
+        verdict["warnings"].append("no shared pairs to compare")
+    verdict["ok"] = not verdict["regressions"]
+    return verdict
+
+
+def _detect_kind(report: Dict) -> str:
+    """Wallclock reports nest results two levels (workload -> engine);
+    autotune reports carry ``tuned_seconds`` per pair."""
+    results = report.get("results", {})
+    for cell in results.values():
+        if isinstance(cell, dict) and "tuned_seconds" in cell:
+            return "autotune"
+    return "wallclock"
+
+
+def compare_reports(baseline: Dict, current: Dict,
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    min_seconds: float = MIN_SECONDS) -> Dict[str, Any]:
+    """Dispatch on report shape; raises ``ValueError`` when the two
+    reports are of different kinds."""
+    kinds = (_detect_kind(baseline), _detect_kind(current))
+    if kinds[0] != kinds[1]:
+        raise ValueError(
+            f"cannot compare a {kinds[0]} report to a {kinds[1]} report")
+    fn = compare_autotune if kinds[0] == "autotune" else compare_wallclock
+    return fn(baseline, current, tolerance=tolerance,
+              min_seconds=min_seconds)
+
+
+def format_verdict(verdict: Dict[str, Any]) -> str:
+    """Human-readable rendering of a verdict (the JSON is the
+    machine-readable artifact; this is what lands in the job log)."""
+    lines = [f"perf sentinel ({verdict['kind']}, "
+             f"tolerance {verdict['tolerance']:.0%})"]
+    if not verdict["comparable"]:
+        lines.append("  INCOMPARABLE — ratios would be meaningless:")
+        lines += [f"    {r}" for r in verdict["incomparable_reasons"]]
+        return "\n".join(lines)
+    for cell in verdict["cells"]:
+        mark = ("SLOW" if cell["regressed"]
+                else "skip" if cell["skipped"] else "  ok")
+        note = f"  ({cell['skipped']})" if cell["skipped"] else ""
+        lines.append(
+            f"  {mark}  {cell['name']:<32s} "
+            f"{cell['baseline_s']*1e3:9.1f}ms -> "
+            f"{cell['current_s']*1e3:9.1f}ms  "
+            f"({cell['ratio']:.2f}x){note}")
+    for warning in verdict["warnings"]:
+        lines.append(f"  warning: {warning}")
+    lines.append(
+        f"  verdict: {'PASS' if verdict['ok'] else 'REGRESSION'}"
+        + (f" — {len(verdict['regressions'])} cell(s) past tolerance: "
+           + ", ".join(verdict["regressions"])
+           if verdict["regressions"] else ""))
+    return "\n".join(lines)

@@ -76,7 +76,7 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
-    """Tracing/metrics flags shared by sample|compare|bench."""
+    """Tracing/metrics flags shared by sample|tune|compare|bench."""
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="record wall-clock spans and write a Chrome "
                         "trace_event JSON (open in chrome://tracing or "
@@ -84,6 +84,16 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--stats", action="store_true",
                    help="print span aggregates + metric counters after "
                         "the command")
+    p.add_argument("--stats-format", default=None,
+                   choices=["json", "openmetrics"],
+                   help="format for --stats-out (and --stats printing): "
+                        "json = span aggregates + metric snapshot, "
+                        "openmetrics = Prometheus-scrapable text "
+                        "exposition; $REPRO_STATS_FORMAT sets the "
+                        "default (json)")
+    p.add_argument("--stats-out", metavar="PATH", default=None,
+                   help="write the post-run stats snapshot to PATH in "
+                        "the --stats-format format")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "$REPRO_FAULT_PLAN for this command; pair with "
                         "--pool-timeout to tune how fast wedge faults "
                         "are detected (see docs/CLI.md)")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="dump the flight recorder (the last 1024 "
+                        "structured runtime events) as a JSONL file "
+                        "under DIR when the run degrades or trips a "
+                        "fault plan; overrides $REPRO_FLIGHT_DIR for "
+                        "this command (see docs/OBSERVABILITY.md)")
     p.add_argument("--checkpoint", default=None, metavar="DIR",
                    help="persist completed chunk results under DIR so "
                         "an interrupted run can be resumed")
@@ -191,8 +207,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p)
     _add_obs_flags(p)
 
-    p = sub.add_parser("bench", help="list the paper-experiment benchmarks")
-    p.add_argument("--list", action="store_true", default=True)
+    p = sub.add_parser("bench",
+                       help="list the paper-experiment benchmarks, or "
+                            "check a fresh run against the committed "
+                            "perf trajectory (`repro bench check`)")
+    p.add_argument("action", nargs="?", default="list",
+                   choices=["list", "check"],
+                   help="list (default): show benchmark files; check: "
+                        "score a fresh benchmark report against a "
+                        "baseline and flag regressions")
+    p.add_argument("--list", action="store_true", default=True,
+                   help=argparse.SUPPRESS)  # historical default action
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline report JSON for `check` (default: "
+                        "BENCH_wallclock.json at the repository root)")
+    p.add_argument("--current", default=None, metavar="PATH",
+                   help="fresh report JSON to score against the "
+                        "baseline (mutually exclusive with --run)")
+    p.add_argument("--run", default=None, choices=["quick", "full"],
+                   dest="run_mode",
+                   help="measure a fresh wall-clock report right now "
+                        "(quick = CI smoke sizes) instead of loading "
+                        "one with --current")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="relative slowdown a cell must exceed to count "
+                        "as a regression (default 0.15 = 15%%)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the machine-readable verdict JSON here")
     _add_obs_flags(p)
 
     p = sub.add_parser("report",
@@ -324,6 +365,10 @@ def _cmd_sample(args, out) -> int:
     if args.pool_timeout is not None:
         from repro.runtime.pool import TIMEOUT_ENV
         scoped_env[TIMEOUT_ENV] = repr(args.pool_timeout)
+    if args.flight_dir is not None:
+        from repro.obs.events import FLIGHT_DIR_ENV
+        os.makedirs(args.flight_dir, exist_ok=True)
+        scoped_env[FLIGHT_DIR_ENV] = args.flight_dir
     saved_env = {key: os.environ.get(key) for key in scoped_env}
     os.environ.update(scoped_env)
     try:
@@ -468,6 +513,8 @@ def _cmd_compare(args, out) -> int:
 
 
 def _cmd_bench(args, out) -> int:
+    if getattr(args, "action", "list") == "check":
+        return _cmd_bench_check(args, out)
     import glob
     import os
     bench_dir = os.path.join(os.path.dirname(__file__), "..", "..",
@@ -484,6 +531,79 @@ def _cmd_bench(args, out) -> int:
     for name in names:
         print(f"  {name}", file=out)
     return 0
+
+
+def _fresh_wallclock_report(quick: bool, out):
+    """Run ``benchmarks/bench_wallclock.py``'s grid in-process (loaded
+    by path — ``benchmarks/`` is not an installed package) and return
+    the report dict; None with a printed error when the harness is
+    missing (installed-package layout)."""
+    import importlib.util
+    path = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "benchmarks", "bench_wallclock.py")
+    if not os.path.exists(path):
+        print("error: benchmarks/bench_wallclock.py not found next to "
+              "the package; run from a repository checkout or pass "
+              "--current PATH instead of --run", file=out)
+        return None
+    spec = importlib.util.spec_from_file_location(
+        "_repro_bench_wallclock", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.run_wallclock(quick=quick)
+
+
+def _cmd_bench_check(args, out) -> int:
+    import json
+    from repro.bench import sentinel
+    if args.current and args.run_mode:
+        print("error: pass --current PATH (a saved report) or --run "
+              "MODE (measure now), not both", file=out)
+        return 2
+    if args.tolerance is not None and args.tolerance <= 0:
+        print(f"error: --tolerance must be > 0, got {args.tolerance} "
+              "(it is the relative slowdown a cell may show before "
+              "being flagged)", file=out)
+        return 2
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = os.path.join(os.path.dirname(__file__), "..",
+                                     "..", "BENCH_wallclock.json")
+    try:
+        baseline = sentinel.load_report(baseline_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.current:
+        try:
+            current = sentinel.load_report(args.current)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    elif args.run_mode:
+        current = _fresh_wallclock_report(args.run_mode == "quick", out)
+        if current is None:
+            return 2
+    else:
+        print("error: `repro bench check` needs a fresh report to "
+              "score — pass --current PATH (a saved report) or --run "
+              "quick|full (measure now)", file=out)
+        return 2
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else sentinel.DEFAULT_TOLERANCE)
+    try:
+        verdict = sentinel.compare_reports(baseline, current,
+                                           tolerance=tolerance)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(sentinel.format_verdict(verdict), file=out)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(verdict, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote verdict to {args.out}", file=out)
+    return 0 if verdict["ok"] else 1
 
 
 def _cmd_report(args, out) -> int:
@@ -611,8 +731,17 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     want_stats = getattr(args, "stats", False)
+    stats_out = getattr(args, "stats_out", None)
+    stats_format = getattr(args, "stats_format", None) or \
+        os.environ.get("REPRO_STATS_FORMAT", "").strip() or "json"
+    if stats_format not in ("json", "openmetrics"):
+        print(f"error: $REPRO_STATS_FORMAT must be 'json' or "
+              f"'openmetrics', got {stats_format!r}",
+              file=out)
+        return 2
     enabled_here = False
-    if (trace_path or want_stats) and not trace.tracing_enabled():
+    if (trace_path or want_stats or stats_out) \
+            and not trace.tracing_enabled():
         trace.enable()
         enabled_here = True
     handler = {
@@ -648,8 +777,20 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     elif trace_path:
         print(f"command failed (exit {code}); trace not written",
               file=out)
+    if stats_out and code == 0:
+        from repro.obs.export import write_stats
+        write_stats(stats_out, fmt=stats_format)
+        print(f"wrote {stats_format} stats to {stats_out}", file=out)
+    elif stats_out:
+        print(f"command failed (exit {code}); stats not written",
+              file=out)
     if want_stats:
-        print(format_stats(), file=out)
+        if stats_format == "openmetrics":
+            from repro.obs import get_metrics
+            from repro.obs.openmetrics import openmetrics_text
+            print(openmetrics_text(get_metrics()), file=out, end="")
+        else:
+            print(format_stats(), file=out)
     if enabled_here:
         trace.disable()
     return code

@@ -21,6 +21,7 @@ of Section 6.5.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
@@ -295,16 +296,31 @@ class NextDoorEngine:
         backend = active_backend_name()
         limit = stepper.step_limit(app)
         collective = app.sampling_type() is SamplingType.COLLECTIVE
+        # Always-on per-stage latency histograms (spans record nothing
+        # unless tracing is enabled; percentile stats must not depend on
+        # --trace).  Labeled by stage + backend so one snapshot carries
+        # the paper's per-stage breakdown per backend.
+        reg = get_metrics()
+        stage_hist = {
+            stage: reg.histogram("engine.stage_seconds",
+                                 labels={"stage": stage,
+                                         "backend": backend})
+            for stage in ("step", "scheduling_index",
+                          "collective_kernels", "individual_kernels")}
         step = 0
         while step < limit:
+            t_step = time.perf_counter()
             step_span = trace.span("step", step=step,
                                    engine=self.engine_name)
             with step_span:
                 transits = app.transits_for_step(batch, step)
+                t_idx = time.perf_counter()
                 with trace.span("scheduling_index", step=step,
                                 backend=backend) as idx_span:
                     tmap = build_transit_map(transits, graph)
                     idx_span.set(pairs=tmap.num_pairs)
+                stage_hist["scheduling_index"].observe(
+                    time.perf_counter() - t_idx)
                 if tmap.num_pairs == 0:
                     break  # no live transits: every sample terminated
                 # Modeled-GPU accounting runs under its own span so the
@@ -317,6 +333,7 @@ class NextDoorEngine:
                 m = app.sample_size(step)
 
                 if collective:
+                    t_kern = time.perf_counter()
                     with trace.span("collective_kernels", step=step,
                                     backend=backend):
                         new_vertices, info, edges, _sizes = \
@@ -325,6 +342,8 @@ class NextDoorEngine:
                                 use_reference=self.use_reference)
                         if edges is not None:
                             batch.record_edges(edges)
+                    stage_hist["collective_kernels"].observe(
+                        time.perf_counter() - t_kern)
                     with trace.span("charge_model", step=step,
                                     phase="sampling"):
                         self._charge_collective(
@@ -332,12 +351,15 @@ class NextDoorEngine:
                             batch.num_samples,
                             has_edges=edges is not None)
                 else:
+                    t_kern = time.perf_counter()
                     with trace.span("individual_kernels", step=step,
                                     backend=backend):
                         new_vertices, info = stepper.run_individual_step(
                             app, graph, batch, transits, step, ctx,
                             tmap.sample_ids, tmap.cols, tmap.transit_vals,
                             use_reference=self.use_reference)
+                    stage_hist["individual_kernels"].observe(
+                        time.perf_counter() - t_kern)
                     with trace.span("charge_model", step=step,
                                     phase="sampling"):
                         self._charge_individual(device, tmap, degrees, m,
@@ -354,6 +376,7 @@ class NextDoorEngine:
                     app.post_step(batch, new_vertices, step,
                                   ctx.post_step_rng(step))
                 step += 1
+                stage_hist["step"].observe(time.perf_counter() - t_step)
                 if m > 0 and not (new_vertices != NULL_VERTEX).any():
                     break  # nothing added anywhere: all samples ended
         with trace.span("output_materialisation"):

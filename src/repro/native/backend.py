@@ -47,7 +47,7 @@ import numpy as np
 
 from repro.api.types import NULL_VERTEX
 from repro.native import rngshim
-from repro.obs import get_metrics
+from repro.obs import events, get_metrics
 
 __all__ = [
     "BACKEND_ENV",
@@ -230,6 +230,9 @@ class CompiledBackend(KernelBackend):
             return
         self._failed.add(name)
         get_metrics().counter("native.compile_failures").inc()
+        events.record("backend_fallback", kernel=name,
+                      backend=self.name,
+                      error=f"{type(exc).__name__}: {exc}")
         warnings.warn(
             f"native backend {self.name!r}: kernel {name!r} disabled "
             f"after {type(exc).__name__}: {exc}; using numpy for this "

@@ -6,12 +6,27 @@ The instrumentation substrate every perf PR reports against (see
 - :mod:`repro.obs.tracer` (imported here as ``trace``) — process-global
   span tracing, a no-op singleton unless enabled via ``trace.enable()``,
   the ``--trace`` CLI flag, or ``$REPRO_TRACE``;
-- :mod:`repro.obs.metrics` — always-on counters/gauges/histograms;
+- :mod:`repro.obs.metrics` — always-on labeled counters/gauges and
+  log-bucketed percentile histograms;
 - :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
-  ``chrome://tracing`` or Perfetto) and flat JSON stats summaries.
+  ``chrome://tracing`` or Perfetto) and flat JSON stats summaries;
+- :mod:`repro.obs.openmetrics` — OpenMetrics text exporter, validator,
+  and periodic snapshot writer;
+- :mod:`repro.obs.events` — typed structured event log and the flight
+  recorder dumped on degraded runs.
 """
 
 from repro.obs import tracer as trace
+from repro.obs.events import (
+    EVENT_FIELDS,
+    EventLog,
+    dump_flight,
+    get_event_log,
+    record,
+    reset_events,
+    set_flight_tag,
+    validate_event_stream,
+)
 from repro.obs.export import (
     chrome_trace,
     format_stats,
@@ -24,9 +39,17 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricFamily,
     MetricsRegistry,
     get_metrics,
     reset_metrics,
+)
+from repro.obs.openmetrics import (
+    PeriodicStatsWriter,
+    openmetrics_text,
+    parse_openmetrics,
+    validate_openmetrics,
+    write_openmetrics,
 )
 from repro.obs.tracer import (
     NullTracer,
@@ -48,6 +71,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricFamily",
     "MetricsRegistry",
     "get_metrics",
     "reset_metrics",
@@ -57,4 +81,17 @@ __all__ = [
     "write_stats",
     "format_stats",
     "validate_chrome_trace",
+    "openmetrics_text",
+    "write_openmetrics",
+    "parse_openmetrics",
+    "validate_openmetrics",
+    "PeriodicStatsWriter",
+    "EVENT_FIELDS",
+    "EventLog",
+    "get_event_log",
+    "reset_events",
+    "record",
+    "set_flight_tag",
+    "dump_flight",
+    "validate_event_stream",
 ]

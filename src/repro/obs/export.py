@@ -122,12 +122,39 @@ def stats_summary(tracer=None, registry=None) -> Dict[str, Any]:
             "metrics": registry.snapshot()}
 
 
-def write_stats(path: str, tracer=None, registry=None) -> str:
+def write_stats(path: str, tracer=None, registry=None,
+                fmt: str = "json") -> str:
+    """Write a stats snapshot to ``path``.
+
+    ``fmt="json"`` writes the :func:`stats_summary` object (spans +
+    metrics); ``fmt="openmetrics"`` writes the metrics registry in the
+    OpenMetrics text format (spans are trace-file territory).
+    """
+    if fmt == "openmetrics":
+        from repro.obs.openmetrics import write_openmetrics
+        return write_openmetrics(path, registry)
+    if fmt != "json":
+        raise ValueError(f"fmt must be 'json' or 'openmetrics', "
+                         f"got {fmt!r}")
     with open(path, "w") as f:
         json.dump(stats_summary(tracer, registry), f, indent=2,
                   sort_keys=True)
         f.write("\n")
     return path
+
+
+def _format_metric(value: Any) -> str:
+    """One metric value -> human text (histogram dicts get a one-line
+    summary; an empty histogram renders as its count alone)."""
+    if isinstance(value, dict):
+        if not value.get("count"):
+            return "count=0"
+        return (f"count={value['count']} "
+                f"mean={value['mean']:.6f} "
+                f"p50={value['p50']:.6f} "
+                f"p99={value['p99']:.6f} "
+                f"max={value['max']:.6f}")
+    return str(value)
 
 
 def format_stats(summary: Optional[Dict[str, Any]] = None) -> str:
@@ -145,13 +172,17 @@ def format_stats(summary: Optional[Dict[str, Any]] = None) -> str:
                 f"max {agg['max_s'] * 1e3:9.3f} ms")
     if summary["metrics"]:
         lines.append("metrics:")
-        width = max(len(n) for n in summary["metrics"])
+        rows: List[tuple] = []
         for name, value in summary["metrics"].items():
-            if isinstance(value, dict):
-                value = (f"count={value['count']} "
-                         f"mean={value['mean']:.6f} "
-                         f"max={value['max']:.6f}")
-            lines.append(f"  {name:<{width}s}  {value}")
+            if isinstance(value, dict) and set(value) == {"series"}:
+                for labels, child in value["series"].items():
+                    label = f"{name}{{{labels}}}" if labels else name
+                    rows.append((label, _format_metric(child)))
+            else:
+                rows.append((name, _format_metric(value)))
+        width = max(len(n) for n, _v in rows)
+        for name, text in rows:
+            lines.append(f"  {name:<{width}s}  {text}")
     if not lines:
         lines.append("no spans or metrics recorded "
                      "(enable tracing with --trace or $REPRO_TRACE)")

@@ -55,7 +55,8 @@ import numpy as np
 
 from repro.api.app import SamplingApp
 from repro.api.types import NULL_VERTEX, StepInfo
-from repro.obs import get_metrics, trace
+from repro.native.backend import active_backend_name
+from repro.obs import events, get_metrics, trace
 from repro.runtime import faults
 from repro.runtime.checkpoint import CheckpointStore, run_fingerprint
 from repro.runtime.faults import FaultInjected
@@ -169,6 +170,9 @@ class ExecutionContext:
         #: threads and worker-chunk lanes land in one trace.
         self.tracer = trace.get_tracer()
         self.metrics = get_metrics()
+        #: Labels (app/backend) for the labeled pool metrics, filled in
+        #: by ``begin_run`` once the run's app is known.
+        self._run_labels: Dict[str, str] = {}
 
     # -- RNG plan pass-throughs ---------------------------------------
 
@@ -193,6 +197,7 @@ class ExecutionContext:
         ctx._fault_plan = self._fault_plan
         ctx.tracer = self.tracer
         ctx.metrics = self.metrics
+        ctx._run_labels = self._run_labels
         return ctx
 
     def attach_checkpoint(self, directory: str, resume: bool, app,
@@ -214,6 +219,13 @@ class ExecutionContext:
         """Attach the pool (spawning if needed) and broadcast the run's
         app + shared graph.  Any failure degrades to in-process
         execution with a warning — never a failed run."""
+        self._run_labels = {"app": app.name,
+                            "backend": active_backend_name()}
+        tag = (f"{app.name}-{graph.name}-s{self.plan.seed}"
+               f"-w{self.workers}".lower().replace(" ", "-"))
+        events.set_flight_tag(tag)
+        events.record("run_start", app=app.name, graph=graph.name,
+                      seed=self.plan.seed, workers=self.workers)
         if self.workers < 1 or self._pool_failed:
             return
         plan = self._fault_plan
@@ -255,6 +267,8 @@ class ExecutionContext:
         self.pool = None
         self._pool_failed = True
         self.metrics.gauge("runtime.degraded_mode").set(1)
+        events.record("degraded_mode", why=why.strip())
+        events.dump_flight("degraded-mode")
 
     # -- individual steps ---------------------------------------------
 
@@ -445,6 +459,7 @@ class ExecutionContext:
         steps' chunk results were checkpointed)."""
         if self._fault_plan is not None and self._fault_plan.should(
                 "interrupt-step", step):
+            events.dump_flight("fault-plan-trip")
             raise FaultInjected(f"injected interrupt at step {step}")
 
     def _load_checkpointed(self, kind: str, step: int,
@@ -488,7 +503,8 @@ class ExecutionContext:
         metrics.  Timestamps are worker-side ``time.monotonic()``
         values, comparable with the parent's clock on the platforms we
         support."""
-        chunk_seconds = self.metrics.histogram("pool.chunk_seconds")
+        chunk_seconds = self.metrics.histogram(
+            "pool.chunk_seconds", labels=self._run_labels or None)
         pooled = self.metrics.counter("runtime.chunks_pooled")
         for chunk_id, payload in results.items():
             pooled.inc()

@@ -30,7 +30,7 @@ from typing import Any, Dict, List, Optional
 
 import dataclasses
 
-from repro.obs import get_metrics, trace
+from repro.obs import events, get_metrics, trace
 from repro.tune.config import TuneConfig
 from repro.tune.db import TuneDB
 
@@ -104,7 +104,14 @@ class _Search:
                     counters = result.metrics.summary()
             span.set(wall_s=min(walls), model_s=modeled)
         self.trials += 1
-        get_metrics().counter("tune.trials").inc()
+        metrics = get_metrics()
+        metrics.counter("tune.trials").inc()
+        metrics.histogram("tune.trial_seconds",
+                          labels={"app": self.app.name}).observe(
+            min(walls))
+        events.record("tune_trial", app=self.app.name,
+                      graph=self.graph.name, config=config.describe(),
+                      wall_s=min(walls), model_s=modeled)
         return {"wall": min(walls), "model": modeled,
                 "counters": counters}
 

@@ -221,6 +221,43 @@ class TestEngineInstrumentation:
                                       on.samples.as_array())
         assert off.seconds == on.seconds  # modeled charges untouched
 
+    def test_samples_bitwise_identical_full_telemetry_on_vs_off(
+            self, graph, tmp_path, monkeypatch):
+        """PR-8 extension of the identity contract: labeled metric
+        families, percentile histograms, the event log, and a live
+        flight-recorder dir may all be active without moving one
+        sampled vertex or one modeled charge."""
+        from repro.obs import get_event_log, reset_events
+        from repro.obs.events import FLIGHT_DIR_ENV
+        reset_metrics()
+        reset_events()
+        off = NextDoorEngine(chunk_size=64).run(
+            DeepWalk(walk_length=12), graph, num_samples=128, seed=5)
+        monkeypatch.setenv(FLIGHT_DIR_ENV, str(tmp_path))
+        reset_metrics()
+        reset_events()
+        trace.enable()
+        try:
+            on = NextDoorEngine(chunk_size=64).run(
+                DeepWalk(walk_length=12), graph, num_samples=128,
+                seed=5)
+        finally:
+            trace.disable()
+        np.testing.assert_array_equal(off.samples.as_array(),
+                                      on.samples.as_array())
+        assert off.seconds == on.seconds  # modeled charges untouched
+        # The telemetry itself really was live during the second run:
+        snap = get_metrics().snapshot()
+        series = snap["engine.stage_seconds"]["series"]
+        sched, = [h for k, h in series.items()
+                  if 'stage="scheduling_index"' in k]
+        assert sched["count"] > 0 and sched["p50"] is not None
+        types = [e["type"] for e in get_event_log().snapshot()]
+        assert "run_start" in types
+        # ...and a healthy run dumps no flight file even with the
+        # recorder armed — dumps are for degradations and fault trips.
+        assert not any(tmp_path.iterdir())
+
     def test_run_trace_has_expected_nesting(self, graph, tracer):
         NextDoorEngine().run(KHop(fanouts=(4, 3)), graph,
                              num_samples=64, seed=1)
@@ -272,7 +309,13 @@ class TestWorkerLanes:
         assert all(l.startswith("worker-") for l in workers)
         snap = get_metrics().snapshot()
         assert snap["runtime.chunks_pooled"] > 0
-        assert snap["pool.chunk_seconds"]["count"] > 0
+        # chunk latency is a labeled family: one series per app/backend
+        (key, hist), = snap["pool.chunk_seconds"]["series"].items()
+        assert 'app="DeepWalk"' in key
+        assert 'backend=' in key
+        assert hist["count"] > 0
+        assert hist["p50"] is not None
+        assert hist["p50"] <= hist["p99"] <= hist["max"] * 1.0001
         assert snap["pool.chunks_dispatched"] > 0
 
     def test_pooled_samples_match_inprocess_with_tracing(self, graph,

@@ -101,12 +101,17 @@ class TestRespawn:
                                            monkeypatch):
         """A worker-side exception quarantines the chunk (in-process
         re-run) without killing the pool or the run."""
+        from repro.obs.metrics import scalar_of
         expected = _expected(medium_weighted)
-        errors = get_metrics().counter("pool.chunk_errors")
-        before = errors.value
+
+        def errors_total():
+            return scalar_of(get_metrics().snapshot().get(
+                "pool.chunk_errors", 0.0))
+
+        before = errors_total()
         got = _faulted(medium_weighted, "chunk-error:0.1", monkeypatch)
         _assert_identical(expected, got)
-        assert errors.value > before
+        assert errors_total() > before
 
     def test_budget_exhausted_degrades_with_identical_samples(
             self, medium_weighted, monkeypatch):
