@@ -1,0 +1,177 @@
+"""Distributed sharding benchmark: shard-count scaling + planner gains.
+
+Two tables (``docs/DISTRIBUTED.md``):
+
+1. **Scaling** — for each workload, the modeled distributed elapsed
+   time at shards {1, 2, 4, 8} next to the single-shard oracle, with
+   the routed message volume and the communication share of the
+   critical path.  Samples are bitwise-identical at every shard count
+   (asserted here on digests), so the *only* thing that moves is the
+   deployment cost.
+2. **Planner** — the cost-model planner's modeled max per-machine time
+   vs the random balanced baseline per benchmark graph.
+
+Results land in ``BENCH_dist.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py           # full
+    PYTHONPATH=src python benchmarks/bench_dist.py --quick   # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+if os.path.join(REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.api.apps import DeepWalk, KHop  # noqa: E402
+from repro.core.engine import NextDoorEngine  # noqa: E402
+from repro.dist import DistEngine, plan_partition, \
+    random_balanced_plan  # noqa: E402
+from repro.graph import datasets  # noqa: E402
+
+__all__ = ["run_dist_bench", "main"]
+
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_dist.json")
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: (label, graph key, weighted?, app factory, samples full, quick)
+WORKLOADS: Tuple = (
+    ("DeepWalk-100/ppi", "ppi", True,
+     lambda: DeepWalk(walk_length=100), 8000, 512),
+    ("k-hop-25x10/ppi", "ppi", False,
+     lambda: KHop(fanouts=(25, 10)), 4096, 256),
+)
+
+PLANNER_GRAPHS = ("ppi", "patents", "livej")
+
+
+def _digest(batch) -> str:
+    h = hashlib.sha256()
+    for arr in [batch.roots, *batch.step_vertices, *batch.edges]:
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()[:16]
+
+
+def run_dist_bench(quick: bool = False, seed: int = 7) -> Dict:
+    """Shard scaling + planner comparison; returns the report dict."""
+    scaling: Dict[str, Dict] = {}
+    for label, graph_key, weighted, app_factory, full_n, quick_n \
+            in WORKLOADS:
+        num_samples = quick_n if quick else full_n
+        graph = datasets.load(graph_key, weighted=weighted)
+        rows: List[Dict] = []
+        want = None
+        for shards in SHARD_COUNTS:
+            result = DistEngine(shards).run(
+                app_factory(), graph, num_samples=num_samples,
+                seed=seed)
+            digest = _digest(result.batch)
+            if want is None:
+                want = digest
+            assert digest == want, (
+                f"{label} diverged at shards={shards}")
+            comm = result.seconds - result.oracle_seconds
+            rows.append({
+                "shards": shards,
+                "elapsed_seconds": result.seconds,
+                "oracle_seconds": result.oracle_seconds,
+                "comm_share": comm / result.seconds
+                if result.seconds > 0 else 0.0,
+                "messages_routed": result.messages_routed,
+                "bytes_routed": result.bytes_routed,
+                "supersteps": len(result.superstep_seconds),
+            })
+            print(f"{label:>20s} | shards {shards}  "
+                  f"elapsed {result.seconds*1e3:8.3f} ms  "
+                  f"oracle {result.oracle_seconds*1e3:8.3f} ms  "
+                  f"msgs {result.messages_routed:>9d}")
+        scaling[label] = {"graph": graph.name,
+                          "samples": int(num_samples),
+                          "digest": want,
+                          "rows": rows}
+
+    planner: Dict[str, Dict] = {}
+    wins = 0
+    for graph_key in PLANNER_GRAPHS:
+        graph = datasets.load(graph_key, seed=0)
+        plan = plan_partition(graph, 4, seed=seed,
+                              refine_iters=16 if quick else 64)
+        rand = random_balanced_plan(graph, 4, seed=seed)
+        gain = (rand.cost.max_seconds / plan.cost.max_seconds
+                if plan.cost.max_seconds > 0 else float("inf"))
+        wins += plan.cost.max_seconds <= rand.cost.max_seconds
+        planner[graph.name] = {
+            "method": plan.method,
+            "planned_seconds": plan.cost.max_seconds,
+            "random_seconds": rand.cost.max_seconds,
+            "gain": gain,
+            "edge_cut_fraction": plan.cost.edge_cut
+            / max(graph.num_edges, 1),
+            "balance": plan.cost.balance,
+            "refine_moves": plan.refine_moves,
+        }
+        print(f"{graph.name:>20s} | planned "
+              f"{plan.cost.max_seconds*1e6:8.2f} us  random "
+              f"{rand.cost.max_seconds*1e6:8.2f} us  ({gain:.2f}x)  "
+              f"[{plan.method}]")
+    print(f"planner beats random on {wins}/{len(PLANNER_GRAPHS)} graphs")
+
+    return {
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "shard_counts": list(SHARD_COUNTS),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "planner_wins": wins,
+        "scaling": scaling,
+        "planner": planner,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sample counts (CI smoke)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    report = run_dist_bench(quick=args.quick, seed=args.seed)
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_dist_bench_smoke():
+    """Pytest smoke: the harness runs end-to-end in quick mode."""
+    report = run_dist_bench(quick=True)
+    assert report["planner_wins"] >= 2
+    for label, cell in report["scaling"].items():
+        elapsed = [row["elapsed_seconds"] for row in cell["rows"]]
+        assert all(s > 0 for s in elapsed), label
+        # More shards never beat the oracle: the handoff traffic and
+        # barriers only add to the single-machine critical path.
+        oracle = cell["rows"][0]["oracle_seconds"]
+        assert all(s >= oracle for s in elapsed), label
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Simulated multi-machine sampling deployment (docs/DISTRIBUTED.md).
+
+The paper's NextDoor assumes the graph fits one device.  This package
+models the next tier out: the graph is partitioned into *shards*, one
+per machine, and walkers whose transit vertex lives on another shard
+are serialized into routed message batches that are drained in
+deterministic ``(shard, seq)`` order each superstep — so the samples
+stay bitwise-identical to the single-shard oracle for any shard count,
+mirroring the ``--workers`` invariant.
+
+- :mod:`repro.dist.netmodel` — the network cost model (per-message
+  latency, per-byte bandwidth, per-superstep barrier) that sits beside
+  ``gpu/`` and ``gpu/cpu_model``.
+- :mod:`repro.dist.router` — cross-shard walk handoff: deterministic
+  message batching, drain order, and fault-driven requeue.
+- :mod:`repro.dist.planner` — the partition planner minimizing modeled
+  max per-machine sampling + communication time (SLSQP fraction solver
+  + greedy boundary refinement).
+- :mod:`repro.dist.engine` — :class:`DistEngine`, the sharded engine.
+"""
+
+from repro.dist.engine import DistEngine, DistResult
+from repro.dist.netmodel import DEFAULT_NETWORK, NetworkSpec
+from repro.dist.planner import (
+    PartitionPlan,
+    modeled_partition_cost,
+    plan_partition,
+    random_balanced_plan,
+)
+from repro.dist.router import RoutedStep, ShardRouter
+
+__all__ = [
+    "DEFAULT_NETWORK",
+    "DistEngine",
+    "DistResult",
+    "NetworkSpec",
+    "PartitionPlan",
+    "RoutedStep",
+    "ShardRouter",
+    "modeled_partition_cost",
+    "plan_partition",
+    "random_balanced_plan",
+]

@@ -1,0 +1,361 @@
+"""The sharded sampling engine: NextDoor over a partitioned graph.
+
+:class:`DistEngine` wraps a :class:`~repro.core.engine.NextDoorEngine`
+and runs its exact step loop once, centrally, in the canonical merged
+order the router's determinism contract reconstructs — so the samples
+are produced by the very same ``ExecutionContext`` / stepper path as
+an unsharded run and are **bitwise-identical for any shard count**
+(and any ``--workers`` setting), the distributed mirror of the
+multicore invariant.
+
+What the shards add is *accounting*:
+
+- a global **oracle** device charged in exactly the base loop's order,
+  so ``DistResult.oracle_seconds`` equals the unsharded
+  ``result.seconds`` bitwise (float accumulation order matters) — the
+  parity suites pin the loop copy against drift this way;
+- one modeled device per shard (:class:`~repro.gpu.multi_gpu.
+  MachinePool`) charged with shard-masked transit maps for the index
+  build and sampling kernels it would run locally (dedup and output
+  materialisation are charged on the oracle only — a documented
+  approximation, they are dominated by the sampling kernels);
+- the :class:`~repro.dist.router.ShardRouter`'s network charges and
+  the per-superstep BSP barrier.
+
+``DistResult.seconds`` is therefore the modeled wall time of the
+sharded deployment — the quantity the partition planner minimizes —
+while the batch itself is oracle-exact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.api.app import SamplingApp
+from repro.api.sample import SampleBatch
+from repro.api.types import NULL_VERTEX, SamplingType
+from repro.core import stepper
+from repro.core.engine import NextDoorEngine, SamplingResult
+from repro.core.transit_map import build_transit_map
+from repro.dist.netmodel import DEFAULT_NETWORK, NetworkSpec
+from repro.dist.planner import PartitionPlan
+from repro.dist.router import ShardRouter
+from repro.graph.relabel import canonicalize_batch
+from repro.gpu.device import Device
+from repro.gpu.metrics import DeviceMetrics
+from repro.gpu.multi_gpu import MachinePool
+from repro.gpu.spec import GPUSpec, V100
+from repro.obs import events, get_metrics, trace
+from repro.runtime.context import ExecutionContext
+
+__all__ = ["DistEngine", "DistResult"]
+
+
+@dataclass
+class DistResult(SamplingResult):
+    """A sharded run: oracle-exact samples + deployment cost model."""
+
+    num_shards: int = 1
+    #: What a single unsharded device would have charged, accumulated
+    #: in exactly the plain engine's order — bitwise-comparable to an
+    #: unsharded ``SamplingResult.seconds``.
+    oracle_seconds: float = 0.0
+    oracle_breakdown: Dict[str, float] = field(default_factory=dict)
+    messages_routed: int = 0
+    bytes_routed: int = 0
+    messages_requeued: int = 0
+    shard_respawns: int = 0
+    #: Critical-path seconds per superstep (compute + comm + barrier).
+    superstep_seconds: List[float] = field(default_factory=list)
+    #: Per-shard busy seconds, one row per superstep.
+    shard_seconds: List[List[float]] = field(default_factory=list)
+    plan: Optional[PartitionPlan] = None
+
+
+def _even_assignment(num_vertices: int, num_shards: int) -> np.ndarray:
+    """Contiguous balanced split — the default when no plan is given."""
+    return (np.arange(num_vertices, dtype=np.int64)
+            * num_shards) // max(num_vertices, 1)
+
+
+class DistEngine:
+    """Simulated multi-machine NextDoor (docs/DISTRIBUTED.md)."""
+
+    engine_name = "Dist"
+
+    def __init__(self, num_shards: int,
+                 base: Optional[NextDoorEngine] = None,
+                 plan: Optional[PartitionPlan] = None,
+                 spec: GPUSpec = V100,
+                 net: NetworkSpec = DEFAULT_NETWORK,
+                 workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if base is None:
+            base = NextDoorEngine(spec=spec, workers=workers,
+                                  chunk_size=chunk_size)
+        if not isinstance(base, NextDoorEngine):
+            raise TypeError("DistEngine shards the NextDoor engine "
+                            f"family, got {type(base).__name__}")
+        if base.tune is not None:
+            raise ValueError("tuned base engines are not supported "
+                             "under sharding (relabeling would change "
+                             "vertex ownership mid-plan)")
+        if base.checkpoint_dir is not None:
+            raise ValueError("checkpointing composes with workers, "
+                             "not shards; run the base engine instead")
+        self.num_shards = num_shards
+        self.base = base
+        self.engine_name = f"Dist({base.engine_name})"
+        self.plan = plan
+        self.spec = spec
+        self.net = net
+
+    # ------------------------------------------------------------------
+
+    def _resolve_assignment(self, graph) -> np.ndarray:
+        n = graph.num_vertices
+        if self.plan is None:
+            return _even_assignment(n, self.num_shards)
+        self.plan.validate_for(graph)
+        if self.plan.num_shards != self.num_shards:
+            raise ValueError(
+                f"plan has {self.plan.num_shards} shards but the "
+                f"engine was built for {self.num_shards}")
+        return self.plan.assignment
+
+    def run(self, app: SamplingApp, graph,
+            num_samples: Optional[int] = None,
+            roots: Optional[np.ndarray] = None,
+            seed: int = 0) -> DistResult:
+        base = self.base
+        assignment = self._resolve_assignment(graph)
+        with trace.span("run", engine=self.engine_name, app=app.name,
+                        graph=graph.name,
+                        shards=self.num_shards) as run_span:
+            ctx = ExecutionContext(seed, workers=base.workers,
+                                   chunk_size=base.chunk_size)
+            batch = stepper.init_batch(app, graph, num_samples, roots,
+                                       ctx.init_rng())
+            run_span.set(samples=batch.num_samples)
+            ctx.begin_run(app, graph, use_reference=base.use_reference)
+            oracle = Device(self.spec, name="oracle")
+            machines = MachinePool(self.num_shards, self.spec,
+                                   barrier_seconds=self.net.barrier_s)
+            router = ShardRouter(assignment, self.num_shards,
+                                 net=self.net,
+                                 fault_plan=ctx._fault_plan)
+            result = self._run_supersteps(app, graph, batch, ctx,
+                                          oracle, machines, router)
+        if getattr(graph, "canonical_of", None) is not None:
+            canonicalize_batch(result.batch)
+        reg = get_metrics()
+        reg.counter("engine.runs").inc()
+        reg.counter("engine.samples_produced").inc(
+            result.batch.num_samples)
+        reg.counter("engine.steps_run").inc(result.steps_run)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _run_supersteps(self, app: SamplingApp, graph,
+                        batch: SampleBatch, ctx: ExecutionContext,
+                        oracle: Device, machines: MachinePool,
+                        router: ShardRouter) -> DistResult:
+        """The base engine's step loop, with one superstep of routing,
+        per-shard charging, and a barrier wrapped around each step.
+
+        The oracle charges replicate ``NextDoorEngine._run_on_device``
+        call for call — order included, because modeled seconds are
+        float sums.  ``verify --suite dist`` and the parity tests
+        assert ``oracle_seconds`` equals the unsharded run bitwise, so
+        any drift between this copy and the base loop is caught.
+        """
+        from repro.native.backend import active_backend_name
+        base = self.base
+        backend = active_backend_name()
+        reg = get_metrics()
+        limit = stepper.step_limit(app)
+        collective = app.sampling_type() is SamplingType.COLLECTIVE
+        step_hist = reg.histogram("dist.superstep_seconds")
+        shard_hists = [
+            reg.histogram("dist.superstep_seconds",
+                          labels={"shard": str(s)})
+            for s in range(self.num_shards)]
+        stage_hists = [
+            reg.histogram("engine.stage_seconds",
+                          labels={"stage": "shard", "shard": str(s),
+                                  "backend": backend})
+            for s in range(self.num_shards)]
+        messages_routed = bytes_routed = 0
+        messages_requeued = shard_respawns = 0
+        prev_transits: Optional[np.ndarray] = None
+        step = 0
+        while step < limit:
+            with trace.span("superstep", step=step,
+                            engine=self.engine_name):
+                transits = app.transits_for_step(batch, step)
+                tmap = build_transit_map(transits, graph)
+                if tmap.num_pairs == 0:
+                    break  # no live transits: every sample terminated
+                # --- routing: who moved shards since last superstep.
+                routed = router.route(transits, prev_transits, step)
+                messages_routed += routed.num_messages
+                bytes_routed += routed.num_bytes
+                if routed.respawned_shard is not None:
+                    shard_respawns += 1
+                    messages_requeued += routed.requeued
+                    events.record("shard_respawn",
+                                  shard=routed.respawned_shard,
+                                  superstep=step,
+                                  requeued=routed.requeued)
+                machines.begin_superstep()
+                # --- oracle charges, in the base loop's exact order.
+                base._pre_step(oracle, graph, tmap, step)
+                base._charge_index(oracle, tmap)
+                self._charge_shards_index(graph, transits, router,
+                                          machines, stage_hists)
+                degrees = graph.degrees_array[tmap.unique_transits]
+                m = app.sample_size(step)
+
+                if collective:
+                    new_vertices, info, edges, _sizes = \
+                        stepper.run_collective_step(
+                            app, graph, batch, transits, step, ctx,
+                            use_reference=base.use_reference)
+                    if edges is not None:
+                        batch.record_edges(edges)
+                    base._charge_collective(
+                        oracle, tmap, degrees, m, info,
+                        batch.num_samples, has_edges=edges is not None)
+                    self._charge_shards_sampling(
+                        graph, transits, router, machines, stage_hists,
+                        m, info, collective=True,
+                        has_edges=edges is not None)
+                else:
+                    new_vertices, info = stepper.run_individual_step(
+                        app, graph, batch, transits, step, ctx,
+                        tmap.sample_ids, tmap.cols, tmap.transit_vals,
+                        use_reference=base.use_reference)
+                    base._charge_individual(
+                        oracle, tmap, degrees, m, info,
+                        weighted=graph.is_weighted)
+                    self._charge_shards_sampling(
+                        graph, transits, router, machines, stage_hists,
+                        m, info, collective=False, has_edges=False)
+                    if app.unique(step) and new_vertices.shape[1] > 1:
+                        new_vertices = base._make_unique(
+                            app, graph, batch, transits, new_vertices,
+                            step, ctx.topup_rng(step), oracle)
+
+                batch.append_step(new_vertices)
+                app.post_step(batch, new_vertices, step,
+                              ctx.post_step_rng(step))
+                elapsed = machines.end_superstep(routed.comm_seconds)
+                step_hist.observe(elapsed)
+                for s, busy in enumerate(machines.shard_seconds[-1]):
+                    shard_hists[s].observe(busy)
+                prev_transits = transits
+                step += 1
+                if m > 0 and not (new_vertices != NULL_VERTEX).any():
+                    break  # nothing added anywhere: all samples ended
+        base._charge_output_materialisation(oracle, app, batch, step)
+        machines.record_run()
+        reg.counter("dist.supersteps").inc(step)
+        reg.counter("dist.messages_routed").inc(messages_routed)
+        reg.counter("dist.bytes_routed").inc(bytes_routed)
+        if shard_respawns:
+            reg.counter("dist.shard_respawns").inc(shard_respawns)
+            reg.counter("dist.messages_requeued").inc(messages_requeued)
+        return DistResult(
+            app=app, graph_name=graph.name, batch=batch,
+            seconds=machines.elapsed_seconds,
+            breakdown=self._breakdown(machines),
+            metrics=machines.merged_metrics(), steps_run=step,
+            engine=self.engine_name, devices_used=self.num_shards,
+            metrics_by_phase=self._metrics_by_phase(machines),
+            num_shards=self.num_shards,
+            oracle_seconds=oracle.elapsed_seconds,
+            oracle_breakdown=oracle.timeline.phase_breakdown(),
+            messages_routed=messages_routed,
+            bytes_routed=bytes_routed,
+            messages_requeued=messages_requeued,
+            shard_respawns=shard_respawns,
+            superstep_seconds=list(machines.superstep_seconds),
+            shard_seconds=[list(r) for r in machines.shard_seconds],
+            plan=self.plan)
+
+    # ------------------------------------------------------------------
+
+    def _shard_tmaps(self, graph, transits: np.ndarray,
+                     router: ShardRouter):
+        """Per-shard transit maps: each shard sees the step's transits
+        with every pair it does not own masked to NULL."""
+        arr = np.asarray(transits, dtype=np.int64)
+        n = router.assignment.size
+        valid = (arr != NULL_VERTEX) & (arr >= 0) & (arr < n)
+        owner = np.where(valid,
+                         router.assignment[np.clip(arr, 0, None)], -1)
+        for s in range(self.num_shards):
+            masked = np.where(owner == s, arr, NULL_VERTEX)
+            yield s, build_transit_map(masked, graph)
+
+    def _charge_shards_index(self, graph, transits: np.ndarray,
+                             router: ShardRouter, machines: MachinePool,
+                             stage_hists: List) -> None:
+        for s, tmap_s in self._shard_tmaps(graph, transits, router):
+            if tmap_s.num_pairs == 0:
+                continue
+            t0 = time.perf_counter()
+            self.base._pre_step(machines.devices[s], graph, tmap_s, 0)
+            self.base._charge_index(machines.devices[s], tmap_s)
+            stage_hists[s].observe(time.perf_counter() - t0)
+
+    def _charge_shards_sampling(self, graph, transits: np.ndarray,
+                                router: ShardRouter,
+                                machines: MachinePool,
+                                stage_hists: List, m: int, info,
+                                collective: bool,
+                                has_edges: bool) -> None:
+        for s, tmap_s in self._shard_tmaps(graph, transits, router):
+            if tmap_s.num_pairs == 0:
+                continue
+            t0 = time.perf_counter()
+            device = machines.devices[s]
+            degrees_s = graph.degrees_array[tmap_s.unique_transits]
+            if collective:
+                local_samples = int(np.unique(tmap_s.sample_ids).size)
+                self.base._charge_collective(
+                    device, tmap_s, degrees_s, m, info, local_samples,
+                    has_edges=has_edges)
+            else:
+                self.base._charge_individual(
+                    device, tmap_s, degrees_s, m, info,
+                    weighted=graph.is_weighted)
+            stage_hists[s].observe(time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+
+    def _breakdown(self, machines: MachinePool) -> Dict[str, float]:
+        breakdown: Dict[str, float] = {}
+        for device in machines.devices:
+            for phase, secs in device.timeline.phase_breakdown().items():
+                breakdown[phase] = max(breakdown.get(phase, 0.0), secs)
+        supersteps = len(machines.superstep_seconds)
+        breakdown["barrier"] = machines.barrier_seconds * supersteps
+        breakdown["coordination"] = machines.coordination_seconds
+        return breakdown
+
+    def _metrics_by_phase(self, machines: MachinePool
+                          ) -> Dict[str, DeviceMetrics]:
+        by_phase: Dict[str, DeviceMetrics] = {}
+        for device in machines.devices:
+            for phase, metrics in device.metrics_by_phase.items():
+                by_phase.setdefault(phase, DeviceMetrics()).merge(
+                    metrics)
+        return by_phase

@@ -1,0 +1,59 @@
+"""Network cost model for the simulated multi-machine deployment.
+
+Sits beside the modeled GPU (:mod:`repro.gpu`) and the modeled CPU
+(:mod:`repro.gpu.cpu_model`): nothing here moves real bytes — the
+model prices the communication a sharded sampling superstep *would*
+perform so the distributed engine and the partition planner charge the
+same currency as the rest of the reproduction (modeled seconds).
+
+Three terms, the classic alpha-beta-barrier decomposition:
+
+- **latency** (alpha): a fixed per-message-*batch* cost.  Walkers
+  crossing the same (src, dst) shard pair in one superstep share one
+  batch, so latency is paid per active shard pair, not per walker.
+- **bandwidth** (beta): bytes / ``bandwidth_bytes_per_s`` for the
+  serialized walker messages in a batch.
+- **barrier**: one per-superstep synchronization charge — every shard
+  waits for the slowest before the next superstep begins (BSP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkSpec", "DEFAULT_NETWORK"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The interconnect of the simulated cluster."""
+
+    name: str = "100GbE"
+    #: Fixed cost per message batch (alpha), seconds.
+    latency_s: float = 10e-6
+    #: Link bandwidth each machine sees (beta), bytes per second.
+    bandwidth_bytes_per_s: float = 12.5e9
+    #: Per-superstep BSP barrier, seconds.
+    barrier_s: float = 25e-6
+    #: Serialized walker message: (sample id, slot, transit vertex) as
+    #: three little-endian int64 words.
+    bytes_per_message: int = 24
+    #: Modeled cost of respawning a killed shard worker and replaying
+    #: its inbox (chaos scenarios only).
+    respawn_s: float = 50e-3
+
+    def message_bytes(self, num_messages: int) -> int:
+        return int(num_messages) * self.bytes_per_message
+
+    def batch_seconds(self, num_messages: int) -> float:
+        """Wire time of one routed batch: alpha + size / beta."""
+        if num_messages <= 0:
+            return 0.0
+        return (self.latency_s
+                + self.message_bytes(num_messages)
+                / self.bandwidth_bytes_per_s)
+
+
+#: The default interconnect: 100 GbE with a 10 us batch send overhead —
+#: deliberately ordinary datacenter hardware, not NVLink optimism.
+DEFAULT_NETWORK = NetworkSpec()

@@ -1,0 +1,218 @@
+"""Cross-shard walk handoff: deterministic routing, drain, and requeue.
+
+Each superstep, every live (sample, slot) pair sits on the shard that
+owns its transit vertex.  A pair whose transit moved to a vertex owned
+by a *different* shard than its previous transit is serialized into a
+walker message and routed; messages sharing a (src, dst) shard pair
+ride one batch.
+
+**Determinism contract** (the heart of ``docs/DISTRIBUTED.md``): every
+message carries its pair's *canonical sequence number* — the pair's
+index in the row-major flattened transit order, the exact order the
+chunked RNG plan assigns draws in.  Destination shards drain their
+inboxes in ascending (src shard, seq) order, and the supersteps's
+merged execution order is the global ascending-seq order.  That merged
+order is independent of shard count, message batching, and arrival
+interleaving — so the samples a sharded run produces are
+bitwise-identical to the single-shard oracle, mirroring the
+``--workers`` invariant.  :meth:`ShardRouter.route` *asserts* the
+reconstruction each superstep rather than trusting it.
+
+Fault injection: a ``kill-shard:S`` fault plan (docs/RESILIENCE.md)
+kills one shard's worker mid-superstep ``S`` — after its inbox was
+routed, before it was drained.  The inbox is requeued and redelivered
+(costed again by the network model, plus a respawn penalty), and the
+drain then proceeds with the *same* messages in the *same* order, so
+digests are unchanged by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.types import NULL_VERTEX
+from repro.core.transit_map import flatten_transits
+from repro.dist.netmodel import DEFAULT_NETWORK, NetworkSpec
+
+__all__ = ["RoutedStep", "ShardRouter"]
+
+
+@dataclass
+class RoutedStep:
+    """One superstep's routing outcome."""
+
+    superstep: int
+    num_shards: int
+    #: Canonical pair seq of every routed message, ascending.
+    seqs: np.ndarray
+    #: (src, dst) -> ascending seq array of that batch's messages.
+    batches: Dict[Tuple[int, int], np.ndarray]
+    #: Messages serialized onto the wire this superstep.
+    num_messages: int
+    #: Wire bytes, including any fault-driven redelivery.
+    num_bytes: int
+    #: Per-shard modeled send + receive wire seconds.
+    comm_seconds: np.ndarray
+    #: Live pairs resident on each shard after the drain.
+    pairs_per_shard: np.ndarray
+    #: Messages redelivered after a ``kill-shard`` fault (0 = clean).
+    requeued: int = 0
+    #: The shard whose worker was killed and respawned, if any.
+    respawned_shard: Optional[int] = None
+    #: Extra modeled seconds the respawned shard lost (respawn +
+    #: redelivery), already folded into ``comm_seconds``.
+    respawn_seconds: float = 0.0
+
+    def drain_order(self) -> np.ndarray:
+        """The merged execution order: per-destination inboxes drained
+        in (src, seq) order, then merged ascending by seq.  Returns the
+        seq array and asserts it reconstructs the canonical order."""
+        collected: List[np.ndarray] = []
+        for dst in range(self.num_shards):
+            inbox = [self.batches[key] for key in sorted(self.batches)
+                     if key[1] == dst]
+            collected.extend(inbox)
+        if not collected:
+            return np.zeros(0, dtype=np.int64)
+        merged = np.sort(np.concatenate(collected))
+        if not np.array_equal(merged, self.seqs):
+            raise AssertionError(
+                "drain order lost messages or changed the canonical "
+                "sequence — routing is no longer deterministic")
+        return merged
+
+
+@dataclass
+class ShardRouter:
+    """Stateless-per-step message router over a fixed vertex->shard
+    assignment."""
+
+    assignment: np.ndarray
+    num_shards: int
+    net: NetworkSpec = field(default_factory=lambda: DEFAULT_NETWORK)
+    fault_plan: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        self.assignment = np.asarray(self.assignment, dtype=np.int64)
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.assignment.size and (
+                self.assignment.min() < 0
+                or self.assignment.max() >= self.num_shards):
+            raise ValueError("assignment ids out of range for "
+                             f"{self.num_shards} shards")
+
+    # ------------------------------------------------------------------
+
+    def owners_of_pairs(self, transits: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(sample_ids, cols, owner) of the step's live pairs in
+        canonical (row-major flattened) order."""
+        sample_ids, cols, vals = flatten_transits(transits)
+        return sample_ids, cols, self.assignment[vals]
+
+    def _prev_owners(self, transits: np.ndarray,
+                     prev_transits: Optional[np.ndarray],
+                     sample_ids: np.ndarray, cols: np.ndarray,
+                     owner_now: np.ndarray) -> np.ndarray:
+        """Where each pair's walker lived last superstep.
+
+        The pair at (sample, col) of a width-``Tc`` step descends from
+        the width-``Tp`` previous step's column ``col // (Tc // Tp)``
+        (walks: 1 -> 1; k-hop: the parent that sampled it).  Step 0 has
+        no previous location — seeds are scattered to their owner
+        shards during ingest, which the model treats as free.
+        """
+        if prev_transits is None:
+            return owner_now
+        prev = np.asarray(prev_transits, dtype=np.int64)
+        t_prev = prev.shape[1]
+        t_cur = np.asarray(transits).shape[1]
+        ratio = max(t_cur // t_prev, 1)
+        parent_cols = np.minimum(cols // ratio, t_prev - 1)
+        parent = prev[sample_ids, parent_cols]
+        valid = (parent != NULL_VERTEX) & (parent >= 0) & \
+            (parent < self.assignment.size)
+        owners = np.where(valid,
+                          self.assignment[np.clip(parent, 0, None)],
+                          owner_now)
+        return owners
+
+    # ------------------------------------------------------------------
+
+    def route(self, transits: np.ndarray,
+              prev_transits: Optional[np.ndarray],
+              superstep: int) -> RoutedStep:
+        """Route one superstep's walker handoffs; deterministic in all
+        inputs (the fault plan included — see ``runtime/faults.py``)."""
+        sample_ids, cols, owner_now = self.owners_of_pairs(transits)
+        owner_prev = self._prev_owners(transits, prev_transits,
+                                       sample_ids, cols, owner_now)
+        moving = np.nonzero(owner_prev != owner_now)[0]
+        seqs = moving.astype(np.int64)
+        src = owner_prev[moving]
+        dst = owner_now[moving]
+        # Group into (src, dst) batches.  ``moving`` is ascending, so a
+        # stable lexsort keeps each batch's seqs ascending too.
+        batches: Dict[Tuple[int, int], np.ndarray] = {}
+        if seqs.size:
+            order = np.lexsort((seqs, dst, src))
+            s_sorted, d_sorted, q_sorted = \
+                src[order], dst[order], seqs[order]
+            keys = s_sorted * self.num_shards + d_sorted
+            cuts = np.nonzero(np.diff(keys))[0] + 1
+            for chunk in np.split(np.arange(keys.size), cuts):
+                i = chunk[0]
+                batches[(int(s_sorted[i]), int(d_sorted[i]))] = \
+                    q_sorted[chunk]
+        comm = np.zeros(self.num_shards, dtype=np.float64)
+        for (s, d), batch_seqs in sorted(batches.items()):
+            wire = self.net.batch_seconds(batch_seqs.size)
+            comm[s] += wire   # send-side serialization
+            comm[d] += wire   # receive-side drain
+        num_messages = int(seqs.size)
+        num_bytes = self.net.message_bytes(num_messages)
+        routed = RoutedStep(
+            superstep=superstep, num_shards=self.num_shards,
+            seqs=seqs, batches=batches,
+            num_messages=num_messages, num_bytes=num_bytes,
+            comm_seconds=comm,
+            pairs_per_shard=np.bincount(owner_now,
+                                        minlength=self.num_shards))
+        self._maybe_kill_shard(routed)
+        routed.drain_order()  # assert the determinism contract
+        return routed
+
+    def _maybe_kill_shard(self, routed: RoutedStep) -> None:
+        """``kill-shard:S`` fault: the victim (lowest shard id with a
+        non-empty inbox) loses its worker mid-superstep; its inbox is
+        requeued and redelivered, costed again plus a respawn
+        penalty.  The drain then replays the same messages in the same
+        order, so samples are unchanged by construction."""
+        plan = self.fault_plan
+        if plan is None:
+            return
+        inbound = sorted({dst for (_, dst) in routed.batches})
+        if not inbound:
+            return
+        if not plan.should("kill-shard", routed.superstep):
+            return
+        victim = inbound[0]
+        redelivery = 0.0
+        requeued = 0
+        for (s, d), batch_seqs in sorted(routed.batches.items()):
+            if d != victim:
+                continue
+            wire = self.net.batch_seconds(batch_seqs.size)
+            redelivery += wire
+            routed.comm_seconds[s] += wire
+            requeued += int(batch_seqs.size)
+        lost = self.net.respawn_s + redelivery
+        routed.comm_seconds[victim] += lost
+        routed.requeued = requeued
+        routed.respawned_shard = victim
+        routed.respawn_seconds = lost
+        routed.num_bytes += self.net.message_bytes(requeued)

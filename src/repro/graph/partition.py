@@ -116,8 +116,11 @@ def bfs_partition(graph: CSRGraph, num_parts: int, seed: int = 0) -> Partition:
     rng = np.random.default_rng(seed)
     assignment = -np.ones(n, dtype=np.int64)
     target = int(np.ceil(n / num_parts))
+    # More parts than vertices leaves the surplus parts seedless (and
+    # empty); their frontiers must still exist for the growth loop.
     seeds = rng.permutation(n)[:num_parts]
     frontiers: List[List[int]] = [[int(s)] for s in seeds]
+    frontiers.extend([] for _ in range(num_parts - len(frontiers)))
     counts = np.zeros(num_parts, dtype=np.int64)
     for p, s in enumerate(seeds):
         if assignment[s] < 0:

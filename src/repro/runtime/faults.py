@@ -50,6 +50,11 @@ parent-side (fire in the dispatching process)
 ``interrupt-step:S``      raise :class:`FaultInjected` at the start of
                           step S (deterministic stand-in for ctrl-C;
                           drives the checkpoint/resume chaos check)
+``kill-shard:S``          kill one shard's worker mid-superstep S of a
+                          sharded run (``repro.dist``): its inbox is
+                          requeued and redelivered, the respawn is
+                          charged to the network model, and samples
+                          must be bitwise-unchanged
 ========================  =============================================
 """
 
@@ -76,6 +81,7 @@ FAULT_NAMES = (
     "broadcast-fail",
     "unpicklable-app",
     "interrupt-step",
+    "kill-shard",
 )
 
 #: Names whose ``arg`` is required (they trigger on a chunk or step).

@@ -1,0 +1,263 @@
+"""Dist suite: the sharded deployment's three contracts.
+
+1. **Shard-count invariance** — for every bitwise-tier engine
+   (NextDoor, SP, TP), sharded runs at shards {1, 2, 4} x workers
+   {0, N} produce batches hash-for-hash identical to the plain
+   engine's, and the oracle charge accumulated by the sharded loop is
+   bitwise-equal to the plain engine's modeled seconds.  The second
+   half is what pins :class:`~repro.dist.engine.DistEngine`'s copy of
+   the base step loop against drift.
+2. **Planner advantage** — the cost-model partition planner must beat
+   a random balanced partition on at least 2 of 3 benchmark graphs
+   (it currently beats it on all of them, by construction: the random
+   assignment is one of the planner's refinement seeds).
+3. **Routing determinism under faults** — a ``kill-shard`` fault plan
+   requeues the victim's inbox and replays it; samples must be
+   bitwise-unchanged, and the respawn must be visible in the
+   ``dist.shard_respawns`` / ``dist.messages_requeued`` metrics and
+   the ``shard_respawn`` event.
+
+Run with ``repro verify --suite dist``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from typing import List, Optional
+
+import numpy as np
+
+from repro.api.apps import DeepWalk, FastGCN, KHop
+from repro.baselines import SampleParallelEngine, VanillaTPEngine
+from repro.core.engine import NextDoorEngine
+from repro.dist import DistEngine, PartitionPlan, plan_partition, \
+    random_balanced_plan
+from repro.obs import get_event_log, get_metrics
+from repro.obs.metrics import scalar_of
+from repro.runtime.faults import PLAN_ENV
+from repro.runtime.pool import shutdown_pools
+from repro.verify.result import CheckResult
+
+__all__ = ["run_dist_checks"]
+
+SUITE = "dist"
+
+_NUM_SAMPLES = 96
+_CHUNK = 16
+_SEED = 11
+_SHARD_COUNTS = (1, 2, 4)
+
+#: One app per sampling shape: a walk (1 transit/step), an individual
+#: multi-vertex khop, and a collective (layer) app.
+_APPS = (
+    ("DeepWalk", lambda: DeepWalk(walk_length=8)),
+    ("k-hop", lambda: KHop([4, 2])),
+    ("FastGCN", lambda: FastGCN(8, 4)),
+)
+
+_ENGINES = (
+    ("NextDoor", NextDoorEngine),
+    ("SP", SampleParallelEngine),
+    ("TP", VanillaTPEngine),
+)
+
+#: Benchmark graphs for the planner-vs-random comparison.
+_PLANNER_GRAPHS = ("ppi", "patents", "livej")
+
+
+def _dist_graph():
+    from repro.graph.generators import rmat_graph
+    return rmat_graph(600, 3000, seed=7,
+                      name="dist").with_random_weights(seed=3)
+
+
+def _digest(batch) -> str:
+    h = hashlib.sha256()
+    for arr in [batch.roots, *batch.step_vertices, *batch.edges]:
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.shape).encode())
+        h.update(a.dtype.str.encode())
+        h.update(a.tobytes())
+    return h.hexdigest()[:32]
+
+
+def _invariance_check(graph, engine_name: str, engine_cls,
+                      app_name: str, app_factory,
+                      workers_list) -> CheckResult:
+    """All shard counts x worker counts against the plain engine."""
+    name = f"shard_invariance_{engine_name}_{app_name}"
+    problems: List[str] = []
+    try:
+        for workers in workers_list:
+            plain = engine_cls(workers=workers, chunk_size=_CHUNK)
+            base = plain.run(app_factory(), graph,
+                             num_samples=_NUM_SAMPLES, seed=_SEED)
+            want = _digest(base.batch)
+            for shards in _SHARD_COUNTS:
+                engine = DistEngine(
+                    shards,
+                    base=engine_cls(workers=workers, chunk_size=_CHUNK))
+                result = engine.run(app_factory(), graph,
+                                    num_samples=_NUM_SAMPLES,
+                                    seed=_SEED)
+                got = _digest(result.batch)
+                if got != want:
+                    problems.append(
+                        f"samples diverged at shards={shards} "
+                        f"workers={workers} ({got} != {want})")
+                if result.oracle_seconds != base.seconds:
+                    problems.append(
+                        f"oracle charge drifted from the plain engine "
+                        f"at shards={shards} workers={workers} "
+                        f"({result.oracle_seconds!r} != "
+                        f"{base.seconds!r})")
+                if shards > 1 and result.messages_routed == 0 and \
+                        app_name == "DeepWalk":
+                    problems.append(
+                        f"no cross-shard messages at shards={shards} "
+                        "(routing is not exercising handoff)")
+    except Exception as exc:
+        problems.append(f"check raised {type(exc).__name__}: {exc}")
+    return CheckResult(name=name, suite=SUITE, family="dist",
+                       passed=not problems, detail="; ".join(problems))
+
+
+def _planner_check(seed: int) -> CheckResult:
+    """Planner beats the random balanced partition on >= 2 of 3
+    benchmark graphs, with a monotone refinement history on each."""
+    from repro.graph import datasets
+    name = "planner_beats_random"
+    problems: List[str] = []
+    wins = 0
+    try:
+        for graph_name in _PLANNER_GRAPHS:
+            graph = datasets.load(graph_name, seed=0)
+            plan = plan_partition(graph, 4, seed=seed)
+            rand = random_balanced_plan(graph, 4, seed=seed)
+            if plan.cost.max_seconds < rand.cost.max_seconds:
+                wins += 1
+            history = plan.cost_history
+            if any(b > a for a, b in zip(history, history[1:])):
+                problems.append(f"cost history not monotone on "
+                                f"{graph_name}: {history}")
+            covered = np.bincount(plan.assignment,
+                                  minlength=plan.num_shards).sum()
+            if covered != graph.num_vertices:
+                problems.append(f"plan does not cover {graph_name} "
+                                f"({covered} != {graph.num_vertices})")
+        if wins < 2:
+            problems.append(
+                f"planner beat the random balanced partition on only "
+                f"{wins} of {len(_PLANNER_GRAPHS)} benchmark graphs")
+    except Exception as exc:
+        problems.append(f"check raised {type(exc).__name__}: {exc}")
+    return CheckResult(name=name, suite=SUITE, family="planner",
+                       passed=not problems, statistic=float(wins),
+                       detail="; ".join(problems))
+
+
+def _fault_routing_check(graph) -> CheckResult:
+    """kill-shard mid-superstep: digests unchanged, requeue visible."""
+    name = "kill_shard_requeues_deterministically"
+    problems: List[str] = []
+    saved = os.environ.pop(PLAN_ENV, None)
+    try:
+        base = NextDoorEngine(chunk_size=_CHUNK).run(
+            DeepWalk(walk_length=8), graph,
+            num_samples=_NUM_SAMPLES, seed=_SEED)
+        want = _digest(base.batch)
+        before = get_metrics().snapshot()
+        os.environ[PLAN_ENV] = "kill-shard:3"
+        result = DistEngine(3, base=NextDoorEngine(chunk_size=_CHUNK)) \
+            .run(DeepWalk(walk_length=8), graph,
+                 num_samples=_NUM_SAMPLES, seed=_SEED)
+        after = get_metrics().snapshot()
+        if _digest(result.batch) != want:
+            problems.append("samples diverged under kill-shard")
+        if result.shard_respawns < 1:
+            problems.append("kill-shard fault never fired")
+        if result.messages_requeued < 1:
+            problems.append("no messages were requeued by the fault")
+
+        def delta(metric: str) -> float:
+            return (scalar_of(after.get(metric, 0.0))
+                    - scalar_of(before.get(metric, 0.0)))
+
+        if delta("dist.shard_respawns") < 1:
+            problems.append("dist.shard_respawns did not increment")
+        if delta("dist.messages_requeued") < 1:
+            problems.append("dist.messages_requeued did not increment")
+        respawn_events = [ev for ev in get_event_log().snapshot()
+                          if ev["type"] == "shard_respawn"]
+        if not respawn_events:
+            problems.append("no shard_respawn event recorded")
+    except Exception as exc:
+        problems.append(f"check raised {type(exc).__name__}: {exc}")
+    finally:
+        if saved is None:
+            os.environ.pop(PLAN_ENV, None)
+        else:
+            os.environ[PLAN_ENV] = saved
+    return CheckResult(name=name, suite=SUITE, family="dist",
+                       passed=not problems, detail="; ".join(problems))
+
+
+def _plan_roundtrip_check(graph) -> CheckResult:
+    """Plans survive JSON round trips and refuse the wrong graph."""
+    name = "plan_roundtrip_and_validation"
+    problems: List[str] = []
+    try:
+        plan = plan_partition(graph, 3, seed=1)
+        with tempfile.TemporaryDirectory(
+                prefix="repro-dist-plan-") as tmp:
+            path = os.path.join(tmp, "plan.json")
+            plan.save(path)
+            loaded = PartitionPlan.load(path)
+        if not np.array_equal(loaded.assignment, plan.assignment):
+            problems.append("assignment changed across a JSON round "
+                            "trip")
+        if loaded.cost.max_seconds != plan.cost.max_seconds:
+            problems.append("cost changed across a JSON round trip")
+        loaded.validate_for(graph)
+        from repro.graph.generators import rmat_graph
+        other = rmat_graph(600, 3000, seed=8, name="other")
+        try:
+            loaded.validate_for(other)
+            problems.append("plan accepted a different graph with the "
+                            "same vertex count")
+        except ValueError:
+            pass
+        result = DistEngine(3, plan=loaded).run(
+            DeepWalk(walk_length=8), graph,
+            num_samples=_NUM_SAMPLES, seed=_SEED)
+        base = NextDoorEngine().run(DeepWalk(walk_length=8), graph,
+                                    num_samples=_NUM_SAMPLES,
+                                    seed=_SEED)
+        if _digest(result.batch) != _digest(base.batch):
+            problems.append("samples diverged under a loaded plan")
+    except Exception as exc:
+        problems.append(f"check raised {type(exc).__name__}: {exc}")
+    return CheckResult(name=name, suite=SUITE, family="planner",
+                       passed=not problems, detail="; ".join(problems))
+
+
+def run_dist_checks(workers: Optional[int] = None,
+                    seed: int = 0) -> List[CheckResult]:
+    """The full dist suite; ``workers`` names the pooled worker count
+    checked alongside in-process runs (default 2)."""
+    pooled = workers if workers and workers >= 1 else 2
+    workers_list = (0, pooled)
+    graph = _dist_graph()
+    results: List[CheckResult] = []
+    for engine_name, engine_cls in _ENGINES:
+        for app_name, app_factory in _APPS:
+            results.append(_invariance_check(
+                graph, engine_name, engine_cls, app_name, app_factory,
+                workers_list))
+    results.append(_planner_check(seed))
+    results.append(_fault_routing_check(graph))
+    results.append(_plan_roundtrip_check(graph))
+    shutdown_pools()
+    return results

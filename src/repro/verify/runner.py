@@ -46,6 +46,11 @@ def _tune(workers, seed):
     return run_tune_checks(workers=workers, seed=seed)
 
 
+def _dist(workers, seed):
+    from repro.verify.dist import run_dist_checks
+    return run_dist_checks(workers=workers, seed=seed)
+
+
 #: suite name -> runner(workers, seed) -> [CheckResult]
 SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
     "stat": _stat,
@@ -55,6 +60,7 @@ SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
     "chaos": _chaos,
     "native": _native,
     "tune": _tune,
+    "dist": _dist,
 }
 
 SUITE_NAMES: Tuple[str, ...] = tuple(SUITES)

@@ -1,0 +1,88 @@
+"""Sharded-vs-unsharded differential matrix.
+
+For every differential app and every bitwise-tier engine (NextDoor,
+SP, TP), a sharded run must produce a batch hash-for-hash identical to
+the plain engine's, and its oracle charge must equal the plain
+engine's modeled seconds bitwise — at every shard count and worker
+count.  The full 10-app x 3-engine x shards {1,2,4} x workers {0,2}
+matrix runs under ``-m slow``; a small unmarked subset rides in tier-1.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.baselines import SampleParallelEngine, VanillaTPEngine
+from repro.core.engine import NextDoorEngine
+from repro.dist import DistEngine
+from repro.runtime.pool import shutdown_pools
+from repro.verify.differential import DIFF_APPS, diff_graphs
+
+ENGINES = {
+    "NextDoor": NextDoorEngine,
+    "SP": SampleParallelEngine,
+    "TP": VanillaTPEngine,
+}
+
+NUM_SAMPLES = 48
+CHUNK = 16
+SEED = 9
+
+
+def _digest(batch) -> str:
+    h = hashlib.sha256()
+    for arr in [batch.roots, *batch.step_vertices, *batch.edges]:
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.shape).encode())
+        h.update(a.dtype.str.encode())
+        h.update(a.tobytes())
+    return h.hexdigest()[:32]
+
+
+@pytest.fixture(scope="module")
+def parity_graph():
+    return diff_graphs(seed=3)[0]
+
+
+def _assert_parity(graph, app_name, engine_name, shards, workers):
+    engine_cls = ENGINES[engine_name]
+    app_factory = DIFF_APPS[app_name]
+    base = engine_cls(workers=workers, chunk_size=CHUNK).run(
+        app_factory(), graph, num_samples=NUM_SAMPLES, seed=SEED)
+    dist = DistEngine(
+        shards,
+        base=engine_cls(workers=workers, chunk_size=CHUNK)).run(
+        app_factory(), graph, num_samples=NUM_SAMPLES, seed=SEED)
+    assert _digest(dist.batch) == _digest(base.batch), (
+        f"{app_name}/{engine_name} diverged at shards={shards} "
+        f"workers={workers}")
+    assert dist.oracle_seconds == base.seconds, (
+        f"{app_name}/{engine_name} oracle charge drifted at "
+        f"shards={shards} workers={workers}")
+    assert dist.num_shards == shards
+    assert dist.steps_run == base.steps_run
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+@pytest.mark.parametrize("app_name", ["DeepWalk", "k-hop", "FastGCN"])
+@pytest.mark.parametrize("shards", [2, 4])
+def test_parity_quick_subset(parity_graph, app_name, engine_name,
+                             shards):
+    _assert_parity(parity_graph, app_name, engine_name, shards,
+                   workers=0)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+@pytest.mark.parametrize("app_name", sorted(DIFF_APPS))
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("workers", [0, 2])
+def test_parity_full_matrix(parity_graph, app_name, engine_name,
+                            shards, workers):
+    try:
+        _assert_parity(parity_graph, app_name, engine_name, shards,
+                       workers)
+    finally:
+        if workers:
+            shutdown_pools()

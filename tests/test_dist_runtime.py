@@ -1,0 +1,235 @@
+"""Units for the dist runtime: network model, router, machine pool,
+and the sharded engine's validation + accounting."""
+
+import numpy as np
+import pytest
+
+from repro.api.apps import DeepWalk
+from repro.api.types import NULL_VERTEX
+from repro.core.engine import NextDoorEngine
+from repro.dist import DistEngine, NetworkSpec, ShardRouter, \
+    plan_partition
+from repro.dist.netmodel import DEFAULT_NETWORK
+from repro.gpu.multi_gpu import MachinePool
+from repro.obs import get_metrics
+from repro.obs.metrics import scalar_of
+from repro.runtime.faults import FaultPlan
+
+
+class TestNetworkSpec:
+    def test_batch_seconds_alpha_beta(self):
+        net = NetworkSpec(latency_s=1.0, bandwidth_bytes_per_s=24.0,
+                          bytes_per_message=24)
+        assert net.batch_seconds(1) == pytest.approx(2.0)
+        assert net.batch_seconds(0) == 0.0
+        assert net.batch_seconds(-1) == 0.0
+
+    def test_message_bytes(self):
+        assert DEFAULT_NETWORK.message_bytes(3) == 72
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_NETWORK.latency_s = 0.0
+
+
+class TestShardRouter:
+    def _router(self, assignment, num_shards, fault_plan=None):
+        return ShardRouter(np.asarray(assignment, np.int64),
+                           num_shards, fault_plan=fault_plan)
+
+    def test_rejects_out_of_range_assignment(self):
+        with pytest.raises(ValueError):
+            self._router([0, 1, 2], 2)
+        with pytest.raises(ValueError):
+            self._router([0, -1], 2)
+        with pytest.raises(ValueError):
+            ShardRouter(np.zeros(3, np.int64), 0)
+
+    def test_step_zero_routes_nothing(self):
+        # Seeds are scattered to their owners during ingest: a step
+        # with no previous transits sends no messages.
+        router = self._router([0, 1, 0, 1], 2)
+        transits = np.array([[0], [1], [3]], np.int64)
+        routed = router.route(transits, None, 0)
+        assert routed.num_messages == 0
+        assert routed.num_bytes == 0
+        assert not routed.batches
+        assert routed.comm_seconds.tolist() == [0.0, 0.0]
+
+    def test_routes_walkers_that_changed_owner(self):
+        router = self._router([0, 0, 1, 1], 2)
+        prev = np.array([[0], [1], [2]], np.int64)   # owners 0 0 1
+        cur = np.array([[2], [1], [3]], np.int64)    # owners 1 0 1
+        routed = router.route(cur, prev, 1)
+        # Only pair 0 moved (shard 0 -> 1); pair 1 stayed on 0, pair 2
+        # stayed on 1.
+        assert routed.num_messages == 1
+        assert list(routed.batches) == [(0, 1)]
+        assert routed.batches[(0, 1)].tolist() == [0]
+        assert routed.comm_seconds[0] > 0      # sender serialization
+        assert routed.comm_seconds[1] > 0      # receiver drain
+
+    def test_drain_order_is_canonical(self):
+        router = self._router([0, 1, 2, 0], 3)
+        prev = np.array([[0, 0], [1, 1]], np.int64)
+        cur = np.array([[1, 2], [3, 2]], np.int64)
+        routed = router.route(cur, prev, 1)
+        merged = routed.drain_order()
+        assert merged.tolist() == sorted(merged.tolist())
+        assert np.array_equal(merged, routed.seqs)
+
+    def test_drain_order_detects_loss(self):
+        router = self._router([0, 1], 2)
+        prev = np.array([[0], [1]], np.int64)
+        cur = np.array([[1], [0]], np.int64)
+        routed = router.route(cur, prev, 1)
+        routed.batches.pop(next(iter(routed.batches)))
+        with pytest.raises(AssertionError):
+            routed.drain_order()
+
+    def test_khop_parent_column_mapping(self):
+        # A width-4 step descending from a width-2 step: columns 0-1
+        # descend from parent column 0, columns 2-3 from column 1.
+        router = self._router([0, 1], 2)
+        prev = np.array([[0, 1]], np.int64)
+        cur = np.array([[0, 0, 0, 0]], np.int64)   # all now on shard 0
+        routed = router.route(cur, prev, 1)
+        # Pairs 2 and 3 (parent col 1, owner 1) moved to shard 0.
+        assert routed.num_messages == 2
+        assert routed.batches[(1, 0)].tolist() == [2, 3]
+
+    def test_null_transits_are_skipped(self):
+        router = self._router([0, 1], 2)
+        prev = np.array([[0], [1]], np.int64)
+        cur = np.array([[NULL_VERTEX], [0]], np.int64)
+        routed = router.route(cur, prev, 1)
+        assert routed.num_messages == 1   # only the live pair routed
+
+    def test_kill_shard_requeues_inbox(self):
+        plan = FaultPlan.parse("kill-shard:1")
+        router = self._router([0, 1], 2, fault_plan=plan)
+        prev = np.array([[0], [1]], np.int64)
+        cur = np.array([[1], [0]], np.int64)
+        routed = router.route(cur, prev, 1)
+        assert routed.respawned_shard == 0   # lowest inbound shard
+        assert routed.requeued >= 1
+        assert routed.respawn_seconds > DEFAULT_NETWORK.respawn_s / 2
+        # Redelivery doubles the victim's inbound bytes on the wire.
+        clean = self._router([0, 1], 2).route(cur, prev, 1)
+        assert routed.num_bytes > clean.num_bytes
+        # The drain still reconstructs the canonical order.
+        assert np.array_equal(routed.drain_order(), routed.seqs)
+
+
+class TestMachinePool:
+    def test_superstep_accounting(self):
+        from repro.gpu.warp import WarpStats
+
+        pool = MachinePool(2, barrier_seconds=0.5)
+        pool.begin_superstep()
+        device = pool.devices[0]
+        kernel = device.new_kernel("k")
+        kernel.add_group(1, 2, WarpStats(device.spec).compute(1000.0))
+        device.launch(kernel, phase="sampling")
+        elapsed = pool.end_superstep([0.0, 2.0])
+        busy0 = pool.devices[0].elapsed_seconds
+        assert pool.shard_seconds == [[busy0, 2.0]]
+        assert elapsed == pytest.approx(2.5)
+        assert pool.superstep_seconds == [elapsed]
+        assert pool.elapsed_seconds == pytest.approx(elapsed)
+
+    def test_elapsed_sums_supersteps(self):
+        pool = MachinePool(2, barrier_seconds=1.0)
+        for comm in ([1.0, 0.0], [0.0, 3.0]):
+            pool.begin_superstep()
+            pool.end_superstep(comm)
+        assert pool.elapsed_seconds == pytest.approx(2.0 + 1.0 + 3.0)
+        pool.record_run()
+        assert pool.elapsed_seconds > 6.0
+
+    def test_num_shards(self):
+        assert MachinePool(3).num_shards == 3
+
+
+class TestDistEngineValidation:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            DistEngine(0)
+
+    def test_rejects_non_nextdoor_base(self):
+        from repro.baselines import KnightKingEngine
+        with pytest.raises(TypeError):
+            DistEngine(2, base=KnightKingEngine())
+
+    def test_rejects_checkpointing_base(self, tmp_path):
+        with pytest.raises(ValueError):
+            DistEngine(2, base=NextDoorEngine(
+                checkpoint_dir=str(tmp_path)))
+
+    def test_rejects_plan_shard_mismatch(self, medium_graph):
+        plan = plan_partition(medium_graph, 3)
+        engine = DistEngine(2, plan=plan)
+        with pytest.raises(ValueError):
+            engine.run(DeepWalk(walk_length=4), medium_graph,
+                       num_samples=8, seed=0)
+
+    def test_rejects_plan_for_other_graph(self, medium_graph,
+                                          tiny_graph):
+        plan = plan_partition(tiny_graph, 2)
+        engine = DistEngine(2, plan=plan)
+        with pytest.raises(ValueError):
+            engine.run(DeepWalk(walk_length=4), medium_graph,
+                       num_samples=8, seed=0)
+
+
+class TestDistEngineAccounting:
+    @pytest.fixture(scope="class")
+    def result(self, medium_graph):
+        return DistEngine(3).run(DeepWalk(walk_length=6), medium_graph,
+                                 num_samples=32, seed=4)
+
+    def test_superstep_records_match_steps(self, result):
+        assert len(result.superstep_seconds) == result.steps_run
+        assert len(result.shard_seconds) == result.steps_run
+        assert all(len(row) == 3 for row in result.shard_seconds)
+
+    def test_messages_flow_between_shards(self, result):
+        assert result.messages_routed > 0
+        assert result.bytes_routed == \
+            DEFAULT_NETWORK.message_bytes(result.messages_routed)
+        assert result.messages_requeued == 0
+        assert result.shard_respawns == 0
+
+    def test_breakdown_has_deployment_phases(self, result):
+        assert result.breakdown["barrier"] == pytest.approx(
+            DEFAULT_NETWORK.barrier_s * result.steps_run)
+        assert "coordination" in result.breakdown
+
+    def test_seconds_cover_critical_path(self, result):
+        assert result.seconds >= sum(result.superstep_seconds)
+        assert result.oracle_seconds > 0
+        assert result.seconds > result.oracle_seconds
+
+    def test_metrics_recorded(self, medium_graph):
+        before = get_metrics().snapshot()
+        DistEngine(2).run(DeepWalk(walk_length=6), medium_graph,
+                          num_samples=32, seed=4)
+        after = get_metrics().snapshot()
+
+        def delta(name):
+            return (scalar_of(after.get(name, 0.0))
+                    - scalar_of(before.get(name, 0.0)))
+
+        assert delta("dist.supersteps") > 0
+        assert delta("dist.messages_routed") > 0
+        assert delta("dist.superstep_seconds") > 0
+        assert delta("engine.runs") == 1
+
+    def test_per_shard_stage_series_labeled(self, medium_graph):
+        DistEngine(2).run(DeepWalk(walk_length=6), medium_graph,
+                          num_samples=32, seed=4)
+        snap = get_metrics().snapshot()
+        series = snap["engine.stage_seconds"]["series"]
+        shard_series = [key for key in series
+                        if 'stage="shard"' in key and 'shard="' in key]
+        assert shard_series

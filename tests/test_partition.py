@@ -72,6 +72,46 @@ class TestBFSPartition:
             bfs_partition(tiny_graph, 0)
 
 
+def _assert_disjoint_and_complete(p, num_vertices):
+    members = [p.members(i) for i in range(p.num_parts)]
+    covered = (np.concatenate(members) if members
+               else np.zeros(0, np.int64))
+    # Disjoint: no vertex in two parts. Complete: every vertex in one.
+    assert sorted(covered.tolist()) == list(range(num_vertices))
+
+
+class TestIsolatedVertices:
+    @pytest.fixture()
+    def isolated_graph(self):
+        # 8 vertices, edges only among 0-3; 4-7 are isolated and
+        # unreachable from any BFS seed's frontier.
+        from repro.graph.csr import CSRGraph
+        return CSRGraph.from_edges(
+            8, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+
+    def test_bfs_covers_isolated_vertices(self, isolated_graph):
+        p = bfs_partition(isolated_graph, 3, seed=0)
+        _assert_disjoint_and_complete(p, 8)
+
+    def test_random_covers_isolated_vertices(self, isolated_graph):
+        p = random_partition(isolated_graph, 3, seed=0)
+        _assert_disjoint_and_complete(p, 8)
+
+    def test_bfs_more_parts_than_vertices(self, isolated_graph):
+        # Regression: surplus seedless parts used to index past the
+        # frontier list when num_parts > num_vertices.
+        p = bfs_partition(isolated_graph, 12, seed=0)
+        _assert_disjoint_and_complete(p, 8)
+        assert p.num_parts == 12
+        assert (p.sizes() >= 0).all()
+
+    def test_bfs_single_vertex_many_parts(self):
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(1, [])
+        p = bfs_partition(g, 4, seed=1)
+        _assert_disjoint_and_complete(p, 1)
+
+
 class TestMemoryPartition:
     def test_every_part_fits_budget(self, medium_graph):
         budget = 16 * 1024
