@@ -282,9 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the verification suites (statistical, "
                             "differential, golden, fuzz, chaos, "
                             "native-backend parity, autotuner)")
-    p.add_argument("--suite", default="all",
-                   choices=["all", *verify_runner.SUITE_NAMES],
-                   help="which suite to run (default: all)")
+    p.add_argument("--suite", default="all", metavar="NAME",
+                   help="which suite to run (default: all; see --list)")
+    p.add_argument("--list", action="store_true", dest="list_suites",
+                   help="list the registered suites and their check "
+                        "counts, then exit")
     p.add_argument("--workers", type=int, default=None,
                    help="sampling worker processes (default 0 = "
                         "in-process; samples are identical either way)")
@@ -296,6 +298,73 @@ def build_parser() -> argparse.ArgumentParser:
                         "current implementation instead of checking "
                         "them (use with --suite golden)")
     _add_backend_flag(p)
+
+    p = sub.add_parser("serve",
+                       help="run the sampling daemon (admission "
+                            "control, deadlines, backpressure; "
+                            "docs/SERVING.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8711,
+                   help="listen port (0 = pick an ephemeral port; "
+                        "default 8711)")
+    p.add_argument("--queue-capacity", type=int, default=16,
+                   help="bounded waiting room; submits beyond it are "
+                        "rejected with Retry-After (default 16)")
+    p.add_argument("--executors", type=int, default=2,
+                   help="concurrent engine runs (default 2)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="sampling worker processes per run (default 0 "
+                        "= in-process; samples are identical either "
+                        "way)")
+    p.add_argument("--chunk-size", type=int, default=None)
+    p.add_argument("--default-deadline-ms", type=float, default=None,
+                   help="deadline applied to requests that carry none "
+                        "(default: unbounded)")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="circuit-breaker cooldown before a pooled "
+                        "retrial after a degraded run (default 30)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="SIGTERM grace for in-flight requests "
+                        "(default 30)")
+    p.add_argument("--stats-out", default=None, metavar="PATH",
+                   help="flush a stats snapshot here after the drain")
+    p.add_argument("--stats-format", default="openmetrics",
+                   choices=["openmetrics", "json"])
+    p.add_argument("--test-hooks", action="store_true",
+                   help="accept per-request test hooks (fault_plan, "
+                        "cancel_after_checks, sleep_before_ms) — "
+                        "verify/CI only, never in production")
+
+    p = sub.add_parser("client",
+                       help="send one sampling request to a running "
+                            "daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8711)
+    p.add_argument("--app", default="DeepWalk")
+    p.add_argument("--graph", default="ppi",
+                   help="dataset stand-in name or edge-list/.npz path "
+                        "readable by the daemon")
+    p.add_argument("--samples", type=int, default=None,
+                   help="root count (default: the app's paper-scale "
+                        "count for the graph)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tenant", default="default",
+                   help="tenant label for the daemon's metrics")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request deadline; the daemon cancels the "
+                        "run once it passes")
+    p.add_argument("--retries", type=int, default=4,
+                   help="max attempts on 429/503 backpressure "
+                        "(default 4)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="save the returned samples as .npz")
+    p.add_argument("--no-samples", action="store_true",
+                   help="ask only for the digest and timings, not the "
+                        "sample arrays")
+    p.add_argument("--health", action="store_true",
+                   help="print the daemon's /healthz and exit")
 
     p = sub.add_parser("train", help="train the demo GNN on sampled batches")
     p.add_argument("--graph", default="ppi", choices=sorted(datasets.SPECS))
@@ -719,6 +788,14 @@ def _cmd_figures(args, out) -> int:
 
 
 def _cmd_verify(args, out) -> int:
+    if args.list_suites:
+        print(verify_runner.format_suite_list(), file=out)
+        return 0
+    if args.suite != "all" and args.suite not in verify_runner.SUITE_NAMES:
+        print(f"error: unknown suite {args.suite!r}; choose from "
+              f"all, {', '.join(verify_runner.SUITE_NAMES)} "
+              "(see `repro verify --list`)", file=out)
+        return 2
     err = _workers_error(args.workers)
     if err:
         print(f"error: {err}", file=out)
@@ -737,6 +814,115 @@ def _cmd_verify(args, out) -> int:
                                            seed=args.seed)
     print(verify_runner.format_report(results), file=out)
     return 0 if ok else 1
+
+
+def _cmd_serve(args, out) -> int:
+    import signal
+    import threading as _threading
+
+    from repro.serve.server import SamplingServer, ServerConfig
+
+    err = _workers_error(args.workers)
+    if err:
+        print(f"error: {err}", file=out)
+        return 2
+    config = ServerConfig(
+        host=args.host, port=args.port,
+        queue_capacity=args.queue_capacity, executors=args.executors,
+        workers=args.workers, chunk_size=args.chunk_size,
+        default_deadline_ms=args.default_deadline_ms,
+        breaker_cooldown_s=args.breaker_cooldown,
+        drain_timeout_s=args.drain_timeout,
+        stats_out=args.stats_out, stats_format=args.stats_format,
+        allow_test_hooks=args.test_hooks)
+    server = SamplingServer(config)
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"error: cannot listen on {args.host}:{args.port}: "
+              f"{exc}", file=out)
+        return 2
+    stop = _threading.Event()
+
+    def on_signal(signum, frame):
+        del frame
+        print(f"received {signal.Signals(signum).name}; draining "
+              f"({server.admission.inflight()} in flight, "
+              f"{server.admission.depth()} queued)", file=out,
+              flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    print(f"repro serve listening on http://{args.host}:{server.port} "
+          f"(queue={args.queue_capacity}, executors={args.executors}, "
+          f"workers={args.workers}"
+          + (", TEST HOOKS ENABLED" if args.test_hooks else "")
+          + ")", file=out, flush=True)
+    stop.wait()
+    # drain() flushes the stats snapshot itself (the daemon must not
+    # rely on surviving past this call); main()'s shared --stats-out
+    # epilogue rewrites the same registry and prints the path once.
+    finished = server.drain(timeout=args.drain_timeout)
+    if not finished:
+        print("drain timed out with requests still in flight",
+              file=out, flush=True)
+        return 1
+    print("drained cleanly", file=out, flush=True)
+    return 0
+
+
+def _cmd_client(args, out) -> int:
+    import json as _json
+    import urllib.error
+
+    from repro.serve.client import RetryPolicy, ServeClient
+    from repro.serve.protocol import SampleRequest
+
+    client = ServeClient(host=args.host, port=args.port,
+                         retry=RetryPolicy(max_attempts=args.retries,
+                                           seed=args.seed))
+    try:
+        if args.health:
+            print(_json.dumps(client.health(), indent=2, sort_keys=True),
+                  file=out)
+            return 0
+        request = SampleRequest(
+            app=args.app, graph=args.graph, samples=args.samples,
+            seed=args.seed, tenant=args.tenant,
+            deadline_ms=args.deadline_ms,
+            return_samples=not args.no_samples or bool(args.out))
+        result = client.sample(request)
+    except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+        print(f"error: cannot reach daemon at {args.host}:{args.port}: "
+              f"{exc}", file=out)
+        return 2
+    resp = result.response
+    if result.ok:
+        print(f"ok: {resp['app']} on {resp['graph']} "
+              f"({resp['samples']} samples, seed {resp['seed']})",
+              file=out)
+        print(f"  digest       {resp['digest']}", file=out)
+        print(f"  wall         {resp['wall_ms']:.1f} ms "
+              f"(queued {resp['queue_wait_ms']:.1f} ms, "
+              f"attempts {result.attempts})", file=out)
+        if resp.get("coalesced"):
+            print("  coalesced with an identical in-flight request",
+                  file=out)
+        if resp.get("degraded"):
+            print("  served in degraded (single-process) mode", file=out)
+        if args.out and result.arrays:
+            import numpy as np
+            np.savez_compressed(args.out, **result.arrays)
+            print(f"  wrote samples to {args.out}", file=out)
+        return 0
+    detail = resp.get("error", "")
+    print(f"{result.status}: {detail} (attempts {result.attempts})",
+          file=out)
+    if resp.get("retry_after_ms") is not None:
+        print(f"  daemon suggests retrying in "
+              f"{resp['retry_after_ms']:.0f} ms", file=out)
+    return 1
 
 
 def _cmd_tune(args, out) -> int:
@@ -868,6 +1054,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "report": _cmd_report,
         "train": _cmd_train,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }[args.command]
     backend_name = getattr(args, "backend", None)
     if backend_name is not None:

@@ -160,6 +160,11 @@ class NextDoorEngine:
         #: ``docs/RESILIENCE.md``.
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        #: Optional :class:`repro.runtime.cancel.CancelScope` checked
+        #: between chunks: a tripped scope (deadline passed, client
+        #: gone) aborts the run with partial work discarded.  Attached
+        #: per request by the serving daemon (docs/SERVING.md).
+        self.cancel = None
 
     # ------------------------------------------------------------------
 
@@ -197,6 +202,7 @@ class NextDoorEngine:
             ctx = ExecutionContext(seed, workers=self.workers,
                                    chunk_size=self.chunk_size,
                                    inflight=tune.inflight if tune else None)
+            ctx.cancel = self.cancel
             batch = stepper.init_batch(app, graph, num_samples, roots,
                                        ctx.init_rng())
             run_span.set(samples=batch.num_samples)

@@ -75,6 +75,15 @@ EVENT_FIELDS: Dict[str, tuple] = {
     # Sharded runs (repro.dist): a shard worker died mid-superstep and
     # its inbox was requeued for redelivery.
     "shard_respawn": ("shard", "superstep", "requeued"),
+    # Serving daemon (repro.serve): per-request lifecycle + the
+    # degradation ladder (docs/SERVING.md).
+    "request_admitted": ("request_id", "tenant", "app", "queue_depth"),
+    "request_rejected": ("request_id", "tenant", "why",
+                         "retry_after_ms"),
+    "request_done": ("request_id", "tenant", "status", "wall_ms"),
+    "request_deadline": ("request_id", "tenant", "stage"),
+    "breaker_trip": ("state", "why"),
+    "serve_drain": ("inflight",),
 }
 
 

@@ -58,6 +58,7 @@ from repro.api.types import NULL_VERTEX, StepInfo
 from repro.native.backend import active_backend_name
 from repro.obs import events, get_metrics, trace
 from repro.runtime import faults
+from repro.runtime.cancel import CancelScope
 from repro.runtime.checkpoint import CheckpointStore, run_fingerprint
 from repro.runtime.faults import FaultInjected
 from repro.runtime.pool import WorkerCrash, get_pool, retire_pool
@@ -162,6 +163,11 @@ class ExecutionContext:
         #: Chunk-result store attached by the engine for
         #: ``--checkpoint`` runs (None = no checkpointing).
         self.checkpoint: Optional[CheckpointStore] = None
+        #: Cooperative cancellation/deadline token
+        #: (:class:`repro.runtime.cancel.CancelScope`), checked between
+        #: chunks; None = never cancelled.  Attached by the serving
+        #: daemon for per-request deadlines.
+        self.cancel: Optional[CancelScope] = None
         #: The active deterministic fault plan (``$REPRO_FAULT_PLAN``),
         #: parsed fresh per run so firing budgets are per run.
         self._fault_plan = faults.active_plan()
@@ -194,6 +200,7 @@ class ExecutionContext:
         ctx.pool = self.pool
         ctx._pool_failed = self._pool_failed
         ctx.checkpoint = self.checkpoint
+        ctx.cancel = self.cancel
         ctx._fault_plan = self._fault_plan
         ctx.tracer = self.tracer
         ctx.metrics = self.metrics
@@ -331,6 +338,7 @@ class ExecutionContext:
             for c in range(nchunks):
                 if c in results:
                     continue
+                self._check_cancel(f"step {step} chunk {c}")
                 lo, hi = int(bounds[c]), int(bounds[c + 1])
                 with self.tracer.span("chunk", step=step, chunk=c,
                                       pairs=hi - lo):
@@ -427,6 +435,7 @@ class ExecutionContext:
             for c in range(nchunks):
                 if c in results:
                     continue
+                self._check_cancel(f"step {step} chunk {c}")
                 lo, hi = int(bounds[c]), int(bounds[c + 1])
                 vals_chunk = (None if values is None
                               else values[offsets[lo]:offsets[hi]])
@@ -457,10 +466,22 @@ class ExecutionContext:
         """Deterministic stand-in for ctrl-C: the ``interrupt-step``
         fault aborts the run at the start of a step (after any earlier
         steps' chunk results were checkpointed)."""
+        self._check_cancel(f"step {step}")
         if self._fault_plan is not None and self._fault_plan.should(
                 "interrupt-step", step):
             events.dump_flight("fault-plan-trip")
             raise FaultInjected(f"injected interrupt at step {step}")
+
+    def _check_cancel(self, where: str) -> None:
+        """Raise :class:`~repro.runtime.cancel.CancelledRun` at a chunk
+        boundary when the attached scope tripped (deadline passed or an
+        explicit cancel); partial step work is simply dropped."""
+        if self.cancel is not None:
+            try:
+                self.cancel.check(where)
+            except Exception:
+                self.metrics.counter("runtime.runs_cancelled").inc()
+                raise
 
     def _load_checkpointed(self, kind: str, step: int,
                            nchunks: int) -> Dict[int, tuple]:

@@ -1,0 +1,152 @@
+"""Thin client for the sampling daemon (``repro client``).
+
+The client side of the backpressure contract (docs/SERVING.md):
+
+* **429 rejected** — honour the server's ``Retry-After`` (never retry
+  sooner), then retry with bounded exponential backoff plus
+  deterministic seeded jitter, up to ``RetryPolicy.max_attempts``;
+* **503 draining** — same backoff path: a draining daemon is expected
+  to be replaced shortly;
+* **504 deadline_exceeded** — never retried: the deadline is the
+  *caller's* budget; a request that missed it is stale by definition;
+* **400 / 500** — never retried: retrying a malformed or failed
+  request without change wastes server capacity.
+
+Jitter is seeded so two clients constructed with different seeds
+de-synchronise their retries (no thundering herd), while any single
+client's behaviour is reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import SampleRequest, decode_arrays
+
+__all__ = ["ServeClient", "ClientResult", "RetryPolicy"]
+
+#: Statuses that may succeed on retry (capacity, not correctness).
+_RETRYABLE = ("rejected", "draining")
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter."""
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    #: Jitter fraction: each delay is scaled by ``1 +- jitter * u``.
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delays(self):
+        """Generator of sleep seconds before attempt 2, 3, ..."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            delay = min(self.max_delay_s,
+                        self.base_delay_s * (2.0 ** attempt))
+            yield delay * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass
+class ClientResult:
+    """Outcome of one logical request (after retries)."""
+
+    status: str
+    response: Dict[str, Any]
+    attempts: int
+    wall_s: float
+    #: Decoded sample arrays when the request asked for them.
+    arrays: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def digest(self) -> Optional[str]:
+        return self.response.get("digest")
+
+
+class ServeClient:
+    """HTTP client for one daemon endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8711, *,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout_s: float = 300.0) -> None:
+        self.base = f"http://{host}:{port}"
+        self.retry = retry or RetryPolicy()
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def _post(self, path: str, payload: bytes) -> Dict[str, Any]:
+        req = urllib.request.Request(
+            self.base + path, data=payload,
+            headers={"Content-Type": "application/json"},
+            method="POST")
+        try:
+            with urllib.request.urlopen(req,
+                                        timeout=self.timeout_s) as resp:
+                body = resp.read()
+                retry_after = resp.headers.get("Retry-After")
+        except urllib.error.HTTPError as exc:
+            # Non-2xx still carries the JSON response body.
+            body = exc.read()
+            retry_after = exc.headers.get("Retry-After")
+        response = json.loads(body.decode("utf-8"))
+        if retry_after is not None:
+            response.setdefault("retry_after_ms",
+                                float(retry_after) * 1000.0)
+        return response
+
+    def _get(self, path: str) -> Any:
+        with urllib.request.urlopen(self.base + path,
+                                    timeout=self.timeout_s) as resp:
+            return resp.read().decode("utf-8")
+
+    # -- API -----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return json.loads(self._get("/healthz"))
+
+    def metrics_text(self) -> str:
+        return self._get("/metrics")
+
+    def sample(self, request: SampleRequest,
+               sleep=time.sleep) -> ClientResult:
+        """Send one sampling request, retrying capacity rejections per
+        the :class:`RetryPolicy`; ``sleep`` is injectable for tests."""
+        payload = json.dumps(request.to_json()).encode("utf-8")
+        delays = self.retry.delays()
+        attempts = 0
+        t0 = time.monotonic()
+        while True:
+            attempts += 1
+            response = self._post("/v1/sample", payload)
+            status = response.get("status", "error")
+            if status not in _RETRYABLE:
+                break
+            try:
+                backoff = next(delays)
+            except StopIteration:
+                break  # attempts exhausted: report the rejection
+            retry_after_ms = response.get("retry_after_ms")
+            if retry_after_ms is not None:
+                # Never retry before the server said capacity frees up.
+                backoff = max(backoff, retry_after_ms / 1000.0)
+            sleep(backoff)
+        arrays = {}
+        if status == "ok" and "arrays" in response:
+            arrays = decode_arrays(response["arrays"])
+        return ClientResult(status=status, response=response,
+                            attempts=attempts,
+                            wall_s=time.monotonic() - t0,
+                            arrays=arrays)

@@ -1,0 +1,95 @@
+"""Request coalescing: identical concurrent requests share one run.
+
+Training loops routinely fan the same sampling request out from many
+data-loader processes (same app, same graph, same seed — that is what
+makes runs reproducible).  The coalescer keys every request by the
+full signature that determines its output bits::
+
+    (app, graph content hash, samples, seed, engine config)
+
+and lets the **first** request in (the *leader*) execute while
+followers with the same signature wait on its result — one engine run,
+N responses, every byte identical.
+
+Scope — and why it is exactly this: the deterministic RNG plan derives
+chunk layout and chunk seeds from the *whole* root set, so two
+requests whose root sets merely overlap have no shared chunks to
+reuse; sharing across them would change their bits.  Only
+signature-identical requests can share work without breaking the
+bitwise contract (overlapping-but-different requests still win from
+the warm graph cache).  Followers keep their own deadlines: a
+follower whose deadline passes while the leader computes gets a
+``deadline_exceeded``, not a late success.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.obs import get_metrics
+
+__all__ = ["Coalescer", "Lease"]
+
+
+class Lease:
+    """One in-flight signature: the leader fills it, followers wait."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.done = threading.Event()
+        self.response: Optional[dict] = None
+        #: Followers attached while the leader was computing.
+        self.followers = 0
+
+    def publish(self, response: dict) -> None:
+        self.response = response
+        self.done.set()
+
+    def wait(self, timeout: Optional[float]) -> Optional[dict]:
+        """The leader's response, or ``None`` on timeout."""
+        if not self.done.wait(timeout=timeout):
+            return None
+        return self.response
+
+
+class Coalescer:
+    """Signature -> in-flight :class:`Lease` map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Lease] = {}
+
+    @staticmethod
+    def signature(request, graph_content: str, *,
+                  engine_config: str = "") -> str:
+        """The full bit-determining key of one request.  Requests with
+        test hooks never coalesce (a fault-injecting request must not
+        leak its fault into an innocent follower's response)."""
+        parts = [request.app, graph_content,
+                 str(request.samples), str(request.seed), engine_config]
+        if request.hooks:
+            parts.append(f"hooks:{id(request)}")  # unique -> no sharing
+        return "|".join(parts)
+
+    def lease(self, key: str) -> Tuple[Lease, bool]:
+        """``(lease, is_leader)``: the leader must eventually
+        :meth:`Lease.publish` and then :meth:`release` the key."""
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                existing.followers += 1
+                get_metrics().counter("serve.requests_coalesced").inc()
+                return existing, False
+            fresh = Lease(key)
+            self._inflight[key] = fresh
+            return fresh, True
+
+    def release(self, lease: Lease) -> None:
+        """Drop the in-flight entry (leader finished, result
+        published).  Later identical requests start a fresh run —
+        coalescing shares *concurrent* work, it is not a response
+        cache."""
+        with self._lock:
+            if self._inflight.get(lease.key) is lease:
+                del self._inflight[lease.key]

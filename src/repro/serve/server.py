@@ -1,0 +1,613 @@
+"""The sampling daemon: HTTP front-end, executors, and the robustness
+ladder.
+
+Request path (docs/SERVING.md)::
+
+    HTTP thread                         executor thread
+    -----------                         ---------------
+    parse + validate        400
+    drain check             503
+    graph cache (warm)
+    deadline at enqueue     504
+    coalescer lease  ---------------->  (followers wait, no queue slot)
+    admission queue         429+Retry-After
+         |ticket
+         v
+    wait on ticket  <----------------   deadline at dequeue      504
+                                        run on warm engine+pool
+                                        (CancelScope between chunks)
+                                        deadline mid-run          504
+                                        breaker observes degrades
+    respond + publish lease
+
+Robustness properties, each asserted by ``repro verify --suite serve``:
+
+* the admission queue is bounded — saturation produces explicit 429s
+  with an honest ``Retry-After``, never unbounded queueing;
+* deadlines are enforced at enqueue, at dequeue, and between chunks;
+  a cancelled run discards partial work and is accounted in
+  ``serve.deadline_exceeded``;
+* worker crashes mid-request are healed by the pool supervisor with
+  the response bits unchanged; respawn-budget exhaustion trips the
+  circuit breaker to single-process execution (degraded, not down);
+* SIGTERM drains gracefully: stop admitting (503), finish in-flight
+  requests, flush the stats snapshot, exit 0.
+
+A *deadline storm* (many deadline trips in a short window — the
+signature of an overloaded or wedged backend) dumps the flight
+recorder for post-mortem, rate-limited to once per window.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.obs import events, get_metrics, trace
+from repro.runtime.cancel import CancelledRun, CancelScope
+from repro.serve.admission import AdmissionQueue, QueueFull
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.cache import GraphCache
+from repro.serve.coalescer import Coalescer
+from repro.serve.protocol import (STATUS_HTTP, SampleRequest,
+                                  batch_digest, encode_batch)
+
+__all__ = ["ServerConfig", "SamplingServer"]
+
+#: Grace added to a request's deadline when the HTTP thread waits for
+#: its executor: the executor enforces the deadline itself; the grace
+#: only covers scheduling slop before the 504 is produced.
+_WAIT_GRACE_S = 30.0
+
+
+@dataclass
+class ServerConfig:
+    """Daemon configuration (CLI flags map 1:1, see ``repro serve``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = pick an ephemeral port
+    #: Bounded waiting room (0 = reject unless an executor is idle).
+    queue_capacity: int = 16
+    #: Concurrent engine runs.
+    executors: int = 2
+    #: Worker processes per engine run (0 = in-process sampling).
+    workers: int = 0
+    chunk_size: Optional[int] = None
+    #: Deadline applied when a request carries none (None = unbounded).
+    default_deadline_ms: Optional[float] = None
+    breaker_cooldown_s: float = 30.0
+    #: Seconds the drain waits for in-flight requests on SIGTERM.
+    drain_timeout_s: float = 30.0
+    #: Stats snapshot written after the drain (None = skip).
+    stats_out: Optional[str] = None
+    stats_format: str = "openmetrics"
+    #: Accept per-request test hooks (fault_plan, cancel_after_checks,
+    #: sleep_before_ms) — verify suite + CI only.
+    allow_test_hooks: bool = False
+    #: Deadline-storm detector: this many deadline trips within the
+    #: window dumps the flight recorder.
+    storm_threshold: int = 8
+    storm_window_s: float = 5.0
+
+
+def _wait_budget(scope: Optional[CancelScope]) -> Optional[float]:
+    """How long an HTTP thread waits on its executor/leader: the
+    request's remaining deadline plus grace, or forever when the scope
+    carries no wall-clock deadline."""
+    if scope is None:
+        return None
+    remaining = scope.remaining()
+    if remaining is None:
+        return None
+    return max(0.0, remaining) + _WAIT_GRACE_S
+
+
+class _Ticket:
+    """One admitted request travelling from HTTP thread to executor."""
+
+    __slots__ = ("request", "request_id", "scope", "graph", "signature",
+                 "num_samples", "enqueued_at", "done", "response")
+
+    def __init__(self, request: SampleRequest, request_id: int,
+                 scope: Optional[CancelScope], graph,
+                 signature: str, num_samples: int) -> None:
+        self.request = request
+        self.request_id = request_id
+        self.scope = scope
+        self.graph = graph
+        self.signature = signature
+        self.num_samples = num_samples
+        self.enqueued_at = time.monotonic()
+        self.done = threading.Event()
+        self.response: Optional[Dict[str, Any]] = None
+
+    def finish(self, response: Dict[str, Any]) -> None:
+        self.response = response
+        self.done.set()
+
+
+class SamplingServer:
+    """The daemon.  ``start()``/``stop()`` or use as a context
+    manager; ``repro serve`` wraps it with signal handling."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.cache = GraphCache()
+        self.coalescer = Coalescer()
+        self.admission = AdmissionQueue(self.config.queue_capacity,
+                                        self.config.executors)
+        self.breaker = CircuitBreaker(self.config.breaker_cooldown_s)
+        self.metrics = get_metrics()
+        self._ids = itertools.count(1)
+        self._draining = threading.Event()
+        self._stopping = threading.Event()
+        self._executors: list = []
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._started_at = time.monotonic()
+        #: Deadline-trip timestamps for the storm detector.
+        self._storm_lock = threading.Lock()
+        self._storm_trips: collections.deque = collections.deque()
+        self._storm_last_dump = -math.inf
+        #: Serialises test-hook fault-plan env mutation across
+        #: executors (hooks are test-only; production never takes it).
+        self._hook_env_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def start(self) -> "SamplingServer":
+        handler = _make_handler(self)
+
+        class _Server(ThreadingHTTPServer):
+            # Open-loop bursts (the serving benchmark fires hundreds of
+            # connections at their scheduled instants) overflow the
+            # default listen backlog of 5 and surface as connection
+            # resets at the client — a transport artifact, not the
+            # admission queue's explicit backpressure.
+            request_queue_size = 128
+
+        self._httpd = _Server(
+            (self.config.host, self.config.port), handler)
+        self._httpd.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http",
+            daemon=True)
+        self._http_thread.start()
+        for i in range(self.config.executors):
+            t = threading.Thread(target=self._executor_loop,
+                                 name=f"serve-exec-{i}", daemon=True)
+            t.start()
+            self._executors.append(t)
+        self.metrics.gauge("serve.draining").set(0)
+        events.set_flight_tag(f"serve-{self.port}")
+        return self
+
+    def __enter__(self) -> "SamplingServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def begin_drain(self) -> None:
+        """Stop admitting; in-flight and queued requests still finish."""
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        self.metrics.gauge("serve.draining").set(1)
+        events.record("serve_drain",
+                      inflight=self.admission.inflight()
+                      + self.admission.depth())
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: drain, flush stats, stop.  Returns
+        whether everything in flight finished inside the timeout."""
+        self.begin_drain()
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        finished = self.admission.wait_drained(timeout=timeout)
+        self.admission.close()
+        self._flush_stats()
+        self.stop()
+        return finished
+
+    def _flush_stats(self) -> None:
+        if not self.config.stats_out:
+            return
+        from repro.obs.export import write_stats
+        write_stats(self.config.stats_out,
+                    fmt=self.config.stats_format)
+
+    def stop(self) -> None:
+        """Hard stop: close the queue and the HTTP listener."""
+        self._stopping.set()
+        self.admission.close()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        for t in self._executors:
+            t.join(timeout=5.0)
+
+    # -- request handling (HTTP threads) -------------------------------
+
+    def handle_sample(self, body: bytes) -> Dict[str, Any]:
+        """Full request path; returns the response dict (its
+        ``status`` picks the HTTP code)."""
+        request_id = next(self._ids)
+        t_arrival = time.monotonic()
+        if self._draining.is_set():
+            return self._reject(request_id, "default", "draining",
+                                status="draining")
+        try:
+            request = SampleRequest.from_json(
+                body, allow_test_hooks=self.config.allow_test_hooks)
+        except ValueError as exc:
+            self._count("bad_request", "default", "-")
+            return {"status": "bad_request", "request_id": request_id,
+                    "error": str(exc)}
+        from repro.bench.runner import APP_FACTORIES, walk_sample_count
+        if request.app not in APP_FACTORIES:
+            self._count("bad_request", request.tenant, request.app)
+            return {"status": "bad_request", "request_id": request_id,
+                    "error": f"unknown app {request.app!r}; choose "
+                             f"from {', '.join(sorted(APP_FACTORIES))}"}
+        try:
+            graph, content, cache_hit = self.cache.resolve(
+                request.graph, request.app, request.seed)
+        except (ValueError, OSError) as exc:
+            self._count("bad_request", request.tenant, request.app)
+            return {"status": "bad_request", "request_id": request_id,
+                    "error": str(exc)}
+        num_samples = request.samples
+        if num_samples is None:
+            num_samples = walk_sample_count(graph, request.app)
+
+        scope = self._scope_for(request, t_arrival)
+        if scope is not None and scope.expired():
+            return self._deadline(request_id, request, "enqueue")
+
+        engine_config = (f"chunk={self.config.chunk_size}|"
+                         f"ret={request.return_samples}")
+        signature = Coalescer.signature(request, content,
+                                        engine_config=engine_config)
+        lease, leader = self.coalescer.lease(signature)
+        if not leader:
+            shared = lease.wait(_wait_budget(scope))
+            if shared is None or (scope is not None and scope.expired()):
+                return self._deadline(request_id, request,
+                                      "coalesced-wait")
+            response = dict(shared)
+            response["request_id"] = request_id
+            response["coalesced"] = True
+            self._count(response.get("status", "error"),
+                        request.tenant, request.app)
+            return response
+
+        ticket = _Ticket(request, request_id, scope, graph, signature,
+                         num_samples)
+        try:
+            try:
+                depth = self.admission.submit(ticket)
+            except QueueFull as exc:
+                response = self._reject(
+                    request_id, request.tenant, "queue full",
+                    retry_after_s=exc.retry_after_s, app=request.app)
+                lease.publish(response)
+                return response
+            except RuntimeError:
+                response = self._reject(request_id, request.tenant,
+                                        "draining", status="draining")
+                lease.publish(response)
+                return response
+            self.metrics.gauge("serve.queue_depth").set(
+                self.admission.depth())
+            events.record("request_admitted", request_id=request_id,
+                          tenant=request.tenant, app=request.app,
+                          queue_depth=depth)
+            if not ticket.done.wait(timeout=_wait_budget(scope)):
+                # The executor owns the ticket; it will observe the
+                # expired scope at dequeue or between chunks.
+                ticket.done.wait()
+            response = dict(ticket.response)
+            response["coalesced"] = False
+            response["cache_hit"] = cache_hit
+            lease.publish(response)
+            return response
+        finally:
+            self.coalescer.release(lease)
+
+    def _scope_for(self, request: SampleRequest,
+                   t_arrival: float) -> Optional[CancelScope]:
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        trip_after = request.hooks.get("cancel_after_checks")
+        if deadline_ms is None and trip_after is None:
+            return None
+        deadline = None if deadline_ms is None else \
+            t_arrival + deadline_ms / 1000.0
+        return CancelScope(deadline=deadline,
+                           trip_after_checks=trip_after)
+
+    # -- response helpers ----------------------------------------------
+
+    def _count(self, status: str, tenant: str, app: str) -> None:
+        self.metrics.counter("serve.requests", labels={
+            "tenant": tenant, "app": app, "status": status}).inc()
+
+    def _reject(self, request_id: int, tenant: str, why: str,
+                retry_after_s: Optional[float] = None,
+                status: str = "rejected",
+                app: str = "-") -> Dict[str, Any]:
+        retry_ms = None if retry_after_s is None else \
+            round(retry_after_s * 1000.0, 3)
+        if status == "rejected":
+            self.metrics.counter("serve.rejected").inc()
+        events.record("request_rejected", request_id=request_id,
+                      tenant=tenant, why=why,
+                      retry_after_ms=retry_ms or 0.0)
+        self._count(status, tenant, app)
+        response: Dict[str, Any] = {"status": status,
+                                    "request_id": request_id,
+                                    "error": why}
+        if retry_ms is not None:
+            response["retry_after_ms"] = retry_ms
+        return response
+
+    def _deadline(self, request_id: int, request: SampleRequest,
+                  stage: str) -> Dict[str, Any]:
+        self.metrics.counter("serve.deadline_exceeded").inc()
+        events.record("request_deadline", request_id=request_id,
+                      tenant=request.tenant, stage=stage)
+        self._count("deadline_exceeded", request.tenant, request.app)
+        self._note_deadline_trip()
+        return {"status": "deadline_exceeded",
+                "request_id": request_id, "stage": stage,
+                "error": f"deadline exceeded at {stage}"}
+
+    def _note_deadline_trip(self) -> None:
+        """Storm detector: dump the flight recorder when deadline
+        trips cluster, once per window."""
+        now = time.monotonic()
+        window = self.config.storm_window_s
+        with self._storm_lock:
+            self._storm_trips.append(now)
+            while self._storm_trips and \
+                    self._storm_trips[0] < now - window:
+                self._storm_trips.popleft()
+            storm = (len(self._storm_trips)
+                     >= self.config.storm_threshold
+                     and now - self._storm_last_dump >= window)
+            if storm:
+                self._storm_last_dump = now
+        if storm:
+            self.metrics.counter("serve.deadline_storms").inc()
+            events.dump_flight("deadline-storm")
+
+    # -- executors -----------------------------------------------------
+
+    def _executor_loop(self) -> None:
+        while not self._stopping.is_set():
+            ticket = self.admission.get(timeout=0.25)
+            if ticket is None:
+                if self.admission.closed and self.admission.drained():
+                    return
+                continue
+            try:
+                ticket.finish(self._execute(ticket))
+            except BaseException as exc:  # never kill the executor
+                ticket.finish({"status": "error",
+                               "request_id": ticket.request_id,
+                               "error": f"internal: {exc!r}"})
+            finally:
+                self.admission.task_done()
+                self.metrics.gauge("serve.queue_depth").set(
+                    self.admission.depth())
+
+    def _execute(self, ticket: _Ticket) -> Dict[str, Any]:
+        from repro.bench.runner import paper_app
+        from repro.core.engine import NextDoorEngine
+        from repro.runtime.faults import FaultInjected
+
+        request = ticket.request
+        scope = ticket.scope
+        queue_wait = time.monotonic() - ticket.enqueued_at
+        self.metrics.histogram("serve.queue_wait_seconds").observe(
+            queue_wait)
+        if scope is not None and scope.expired():
+            return self._deadline(ticket.request_id, request, "dequeue")
+
+        sleep_ms = request.hooks.get("sleep_before_ms")
+        t0 = time.monotonic()
+        pooled = False
+        try:
+            if sleep_ms:
+                time.sleep(float(sleep_ms) / 1000.0)
+            pooled = (self.config.workers > 0
+                      and self.breaker.allow_pooled())
+            workers = self.config.workers if pooled else 0
+            engine = NextDoorEngine(workers=workers,
+                                    chunk_size=self.config.chunk_size)
+            engine.cancel = scope
+            app = paper_app(request.app)
+            fault_plan = request.hooks.get("fault_plan")
+            with trace.span("serve.request", app=request.app,
+                            tenant=request.tenant,
+                            samples=ticket.num_samples):
+                if fault_plan is not None:
+                    result = self._run_with_fault_plan(
+                        engine, app, ticket, fault_plan)
+                else:
+                    result = engine.run(app, ticket.graph,
+                                        num_samples=ticket.num_samples,
+                                        seed=request.seed)
+            degraded = bool(
+                self.metrics.gauge("runtime.degraded_mode").value)
+            if pooled:
+                self.breaker.observe(degraded)
+        except CancelledRun:
+            if pooled:
+                self.breaker.abort_trial()
+            return self._deadline(ticket.request_id, request, "mid-run")
+        except FaultInjected as exc:
+            return self._error(ticket, f"injected fault: {exc}")
+        except ValueError as exc:
+            self._count("bad_request", request.tenant, request.app)
+            return {"status": "bad_request",
+                    "request_id": ticket.request_id, "error": str(exc)}
+        except Exception as exc:
+            return self._error(ticket, f"run failed: {exc!r}")
+        finally:
+            service = time.monotonic() - t0
+            self.admission.observe_service(service)
+            self.metrics.histogram(
+                "serve.request_seconds",
+                labels={"app": request.app}).observe(service)
+
+        wall_ms = round((time.monotonic() - t0) * 1000.0, 3)
+        self._count("ok", request.tenant, request.app)
+        events.record("request_done", request_id=ticket.request_id,
+                      tenant=request.tenant, status="ok",
+                      wall_ms=wall_ms)
+        response: Dict[str, Any] = {
+            "status": "ok",
+            "request_id": ticket.request_id,
+            "app": request.app,
+            "graph": getattr(ticket.graph, "name", request.graph),
+            "samples": ticket.num_samples,
+            "seed": request.seed,
+            "digest": batch_digest(result.batch),
+            "modeled_seconds": result.seconds,
+            "queue_wait_ms": round(queue_wait * 1000.0, 3),
+            "wall_ms": wall_ms,
+            "degraded": bool(
+                self.metrics.gauge("runtime.degraded_mode").value),
+        }
+        if request.return_samples:
+            response["arrays"] = encode_batch(result)
+        return response
+
+    def _run_with_fault_plan(self, engine, app, ticket: _Ticket,
+                             fault_plan: str):
+        """Test hook: run one request under a deterministic fault plan
+        (``$REPRO_FAULT_PLAN`` is process-global, so hooked runs are
+        serialised)."""
+        import os
+        from repro.runtime.faults import PLAN_ENV, FaultPlan
+        FaultPlan.parse(fault_plan)  # reject typos as ValueError/400
+        with self._hook_env_lock:
+            saved = os.environ.get(PLAN_ENV)
+            os.environ[PLAN_ENV] = fault_plan
+            try:
+                return engine.run(app, ticket.graph,
+                                  num_samples=ticket.num_samples,
+                                  seed=ticket.request.seed)
+            finally:
+                if saved is None:
+                    os.environ.pop(PLAN_ENV, None)
+                else:
+                    os.environ[PLAN_ENV] = saved
+
+    def _error(self, ticket: _Ticket, message: str) -> Dict[str, Any]:
+        request = ticket.request
+        self.metrics.counter("serve.errors").inc()
+        self._count("error", request.tenant, request.app)
+        events.record("request_done", request_id=ticket.request_id,
+                      tenant=request.tenant, status="error",
+                      wall_ms=0.0)
+        return {"status": "error", "request_id": ticket.request_id,
+                "error": message}
+
+    # -- introspection -------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "queue_depth": self.admission.depth(),
+            "inflight": self.admission.inflight(),
+            "queue_capacity": self.config.queue_capacity,
+            "executors": self.config.executors,
+            "workers": self.config.workers,
+            "breaker": self.breaker.state_name,
+            "cached_graphs": self.cache.size(),
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+
+def _make_handler(server: "SamplingServer"):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):  # quiet by default
+            pass
+
+        def _respond(self, code: int, payload: bytes,
+                     content_type: str = "application/json",
+                     headers: Optional[Dict[str, str]] = None) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _respond_json(self, response: Dict[str, Any]) -> None:
+            code = STATUS_HTTP.get(response.get("status", "error"), 500)
+            headers = {}
+            retry_ms = response.get("retry_after_ms")
+            if retry_ms is not None:
+                headers["Retry-After"] = str(
+                    max(1, math.ceil(retry_ms / 1000.0)))
+            self._respond(code, json.dumps(response).encode("utf-8"),
+                          headers=headers)
+
+        def do_POST(self):
+            if self.path != "/v1/sample":
+                self._respond_json({"status": "bad_request",
+                                    "error": f"no such endpoint "
+                                             f"{self.path}"})
+                return
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length) if length else b""
+            try:
+                self._respond_json(server.handle_sample(body))
+            except BrokenPipeError:  # client went away mid-response
+                pass
+
+        def do_GET(self):
+            if self.path == "/healthz":
+                self._respond(200,
+                              json.dumps(server.health()).encode())
+            elif self.path == "/metrics":
+                from repro.obs.openmetrics import openmetrics_text
+                text = openmetrics_text(get_metrics())
+                self._respond(200, text.encode("utf-8"),
+                              content_type="application/openmetrics-"
+                                           "text; version=1.0.0")
+            else:
+                self._respond_json({"status": "bad_request",
+                                    "error": f"no such endpoint "
+                                             f"{self.path}"})
+
+    return Handler

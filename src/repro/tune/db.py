@@ -17,15 +17,30 @@ same fingerprint and therefore the same stored config — a property the
 ``tune`` verification suite asserts.  Writes are atomic
 (temp file + ``os.replace``) with sorted keys so concurrent readers
 never see a torn file and diffs stay stable.
+
+Writes are also **merge-safe across processes**: ``save()`` takes an
+advisory ``flock`` on a ``<db>.lock`` sidecar, re-reads the file under
+the lock, and overlays only the entries *this* process recorded before
+writing.  Two concurrent tuners (e.g. the serving daemon's autotuned
+engines racing a CLI ``repro tune``) therefore interleave instead of
+clobbering: last-writer-wins applies per entry, never to the whole
+file.  On platforms without ``fcntl`` the lock degrades to the
+previous atomic-replace behaviour.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
 
 from repro.tune.config import TuneConfig
 
@@ -83,6 +98,9 @@ class TuneDB:
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = resolve_db_path(path)
         self.data: Dict[str, Any] = {"version": DB_VERSION, "entries": {}}
+        #: Keys recorded by this instance and not yet saved — the only
+        #: entries :meth:`save` is entitled to overwrite on disk.
+        self._dirty: Set[str] = set()
         if os.path.exists(self.path):
             self.data = self._load(self.path)
 
@@ -138,24 +156,64 @@ class TuneDB:
             "speedup": float(baseline / score) if score > 0 else 0.0,
             "trials": int(trials),
         }
+        self._dirty.add(key)
         return key
 
-    def save(self) -> str:
-        """Atomically write the database; returns the path written."""
-        directory = os.path.dirname(os.path.abspath(self.path)) or "."
-        fd, tmp = tempfile.mkstemp(prefix=".tune-", suffix=".json",
-                                   dir=directory)
+    @contextlib.contextmanager
+    def _write_lock(self):
+        """Advisory exclusive lock on the ``<db>.lock`` sidecar (the
+        DB file itself is replaced atomically, so it cannot carry the
+        lock).  No-op where ``fcntl`` is unavailable."""
+        if fcntl is None:  # pragma: no cover - non-POSIX hosts
+            yield
+            return
+        fd = os.open(self.path + ".lock",
+                     os.O_CREAT | os.O_RDWR, 0o644)
         try:
-            with os.fdopen(fd, "w") as f:
-                json.dump(self.data, f, indent=2, sort_keys=True)
-                f.write("\n")
-            os.replace(tmp, self.path)
-        except BaseException:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def save(self) -> str:
+        """Write the database: merge-safe under the advisory lock,
+        atomic via temp file + ``os.replace``; returns the path.
+
+        Under the lock the on-disk file is re-read and only the keys
+        this instance :meth:`record`-ed are overlaid onto it, so a
+        concurrent writer's fresh entries survive.
+        """
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        with self._write_lock():
+            if os.path.exists(self.path):
+                try:
+                    on_disk = self._load(self.path)
+                except ValueError:
+                    # A corrupt file must not brick the save; our
+                    # in-memory view wins wholesale.
+                    on_disk = None
+                if on_disk is not None:
+                    merged = dict(on_disk["entries"])
+                    merged.update({k: self.entries[k]
+                                   for k in self._dirty
+                                   if k in self.entries})
+                    self.data = {"version": DB_VERSION,
+                                 "entries": merged}
+            fd, tmp = tempfile.mkstemp(prefix=".tune-", suffix=".json",
+                                       dir=directory)
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as f:
+                    json.dump(self.data, f, indent=2, sort_keys=True)
+                    f.write("\n")
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self._dirty.clear()
         return self.path
 
     # -- validation (CI's tune-smoke job) ------------------------------

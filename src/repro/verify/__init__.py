@@ -37,9 +37,12 @@ See ``docs/TESTING.md`` for how the thresholds were chosen.
 
 from repro.verify.runner import (
     CheckResult,
+    SUITE_INFO,
     SUITE_NAMES,
     format_report,
+    format_suite_list,
     run_suites,
 )
 
-__all__ = ["CheckResult", "SUITE_NAMES", "format_report", "run_suites"]
+__all__ = ["CheckResult", "SUITE_INFO", "SUITE_NAMES", "format_report",
+           "format_suite_list", "run_suites"]

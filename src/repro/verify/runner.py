@@ -8,7 +8,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.bench import format_table
 from repro.verify.result import CheckResult
 
-__all__ = ["SUITE_NAMES", "CheckResult", "format_report", "run_suites"]
+__all__ = ["SUITE_NAMES", "SUITE_INFO", "CheckResult", "format_report",
+           "format_suite_list", "run_suites"]
 
 
 def _stat(workers, seed):
@@ -51,6 +52,11 @@ def _dist(workers, seed):
     return run_dist_checks(workers=workers, seed=seed)
 
 
+def _serve(workers, seed):
+    from repro.verify.serve import run_serve_checks
+    return run_serve_checks(workers=workers, seed=seed)
+
+
 #: suite name -> runner(workers, seed) -> [CheckResult]
 SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
     "stat": _stat,
@@ -61,9 +67,36 @@ SUITES: Dict[str, Callable[[Optional[int], int], List[CheckResult]]] = {
     "native": _native,
     "tune": _tune,
     "dist": _dist,
+    "serve": _serve,
 }
 
 SUITE_NAMES: Tuple[str, ...] = tuple(SUITES)
+
+#: suite name -> (check count, one-line description) for
+#: ``repro verify --list``.  Counts are declared, not discovered (a
+#: listing must not run the suites); each suite's tests pin its count.
+SUITE_INFO: Dict[str, Tuple[int, str]] = {
+    "stat": (9, "analytic distribution checks per app family"),
+    "diff": (20, "reference-vs-engine differential sweeps"),
+    "golden": (10, "pinned golden sample fixtures"),
+    "fuzz": (31, "randomized graph/app property fuzzing"),
+    "chaos": (10, "bitwise identity under injected faults"),
+    "native": (28, "compiled-backend sampling parity"),
+    "tune": (15, "autotuner plan + TuneDB invariants"),
+    "dist": (12, "sharded sampling identity + handoff accounting"),
+    "serve": (8, "daemon-vs-direct identity, backpressure, drain"),
+}
+
+
+def format_suite_list() -> str:
+    """The ``repro verify --list`` table: every registered suite, its
+    declared check count, and what it covers."""
+    rows = [[name, str(SUITE_INFO[name][0]), SUITE_INFO[name][1]]
+            for name in SUITE_NAMES]
+    total = sum(SUITE_INFO[name][0] for name in SUITE_NAMES)
+    table = format_table(["suite", "checks", "covers"], rows)
+    return (f"{table}\n{len(SUITE_NAMES)} suites, {total} checks "
+            f"(run one with `repro verify --suite <name>`)")
 
 
 def run_suites(names: Optional[Sequence[str]] = None,

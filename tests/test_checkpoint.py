@@ -155,6 +155,71 @@ class TestResume:
                         again.batch.step_vertices):
             assert np.array_equal(a, b)
 
+    def test_resume_after_pooled_kill_recomputes_only_lost(
+            self, medium_weighted, tmp_path, monkeypatch):
+        """The full fault x checkpoint matrix cell: a pooled run loses
+        a worker (respawn heals it), checkpoints survive, the run is
+        then interrupted; the resume reloads every persisted chunk,
+        recomputes exactly the lost remainder, and assembles the
+        uninterrupted run's bits."""
+        expected = _run(medium_weighted)
+        # Total chunks of this workload, measured on a clean
+        # checkpointed run (every chunk saved exactly once).
+        saved = get_metrics().counter("checkpoint.chunks_saved")
+        before = saved.value
+        _run(medium_weighted, ckpt=str(tmp_path / "count"))
+        total_chunks = saved.value - before
+
+        ckpt = str(tmp_path / "ckpt")
+        monkeypatch.setenv(PLAN_ENV,
+                           "kill-after-chunk:0.1,interrupt-step:2")
+        before = saved.value
+        with pytest.raises(FaultInjected, match="step 2"):
+            _run(medium_weighted, ckpt=ckpt, workers=2)
+        monkeypatch.delenv(PLAN_ENV)
+        persisted = saved.value - before
+        assert 0 < persisted < total_chunks
+
+        loaded = get_metrics().counter("checkpoint.chunks_loaded")
+        computed = get_metrics().counter("runtime.chunks_inprocess")
+        before_loaded, before_computed = loaded.value, computed.value
+        resumed = _run(medium_weighted, ckpt=ckpt, resume=True)
+        reloaded = loaded.value - before_loaded
+        recomputed = computed.value - before_computed
+        assert reloaded == persisted  # everything saved was reused
+        assert recomputed == total_chunks - persisted  # only the rest
+        assert np.array_equal(expected.batch.roots, resumed.batch.roots)
+        for a, b in zip(expected.batch.step_vertices,
+                        resumed.batch.step_vertices):
+            assert np.array_equal(a, b)
+        assert expected.seconds == resumed.seconds
+
+    def test_resume_after_deadline_cancellation(self, medium_weighted,
+                                                tmp_path):
+        """A serve-style deadline cancellation discards the run but not
+        its checkpoints: the resume reloads them and finishes
+        bitwise-identically."""
+        from repro.runtime.cancel import CancelledRun, CancelScope
+        expected = _run(medium_weighted)
+        ckpt = str(tmp_path / "ckpt")
+        engine = NextDoorEngine(workers=0, chunk_size=CHUNK,
+                                checkpoint_dir=ckpt)
+        # 5 checks per step here (1 at the step head + 4 chunks):
+        # tripping on check 13 cancels mid-step-2, after steps 0-1
+        # were checkpointed and step 2's partial chunks are discarded.
+        engine.cancel = CancelScope(trip_after_checks=13)
+        with pytest.raises(CancelledRun):
+            engine.run(DeepWalk(walk_length=12), medium_weighted,
+                       num_samples=256, seed=11)
+        loaded = get_metrics().counter("checkpoint.chunks_loaded")
+        before = loaded.value
+        resumed = _run(medium_weighted, ckpt=ckpt, resume=True)
+        assert loaded.value > before
+        for a, b in zip(expected.batch.step_vertices,
+                        resumed.batch.step_vertices):
+            assert np.array_equal(a, b)
+        assert expected.seconds == resumed.seconds
+
     def test_resumed_pooled_run_matches(self, medium_weighted, tmp_path,
                                         monkeypatch):
         """Interrupt an in-process checkpoint run, resume on the worker

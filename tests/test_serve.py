@@ -1,0 +1,465 @@
+"""Sampling daemon (repro.serve): protocol, admission, breaker,
+coalescer, cache, cancellation, client retry, and the HTTP server.
+
+The heavyweight end-to-end scenarios (worker kill under load, breaker
+ladder, drain) live in ``repro verify --suite serve``
+(repro/verify/serve.py); these tests pin the component contracts.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import get_metrics
+from repro.runtime.cancel import CancelledRun, CancelScope, DeadlineExceeded
+from repro.serve.admission import AdmissionQueue, QueueFull
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.cache import GraphCache, graph_content_key
+from repro.serve.client import ClientResult, RetryPolicy, ServeClient
+from repro.serve.coalescer import Coalescer
+from repro.serve.protocol import (SampleRequest, batch_digest,
+                                  decode_array, decode_arrays,
+                                  encode_array, encode_batch)
+from repro.serve.server import SamplingServer, ServerConfig
+
+
+class TestCancelScope:
+    def test_unset_scope_never_trips(self):
+        scope = CancelScope()
+        for i in range(100):
+            scope.check(f"site {i}")
+        assert not scope.cancelled
+        assert scope.remaining() is None
+
+    def test_deadline_trips_as_deadline_exceeded(self):
+        scope = CancelScope(deadline=time.monotonic() - 0.001)
+        assert scope.expired()
+        with pytest.raises(DeadlineExceeded):
+            scope.check("between chunks")
+
+    def test_explicit_cancel(self):
+        scope = CancelScope()
+        scope.cancel("client went away")
+        assert scope.cancelled
+        with pytest.raises(CancelledRun, match="client went away"):
+            scope.check("anywhere")
+
+    def test_trip_after_checks_is_deterministic(self):
+        scope = CancelScope(trip_after_checks=3)
+        scope.check("one")
+        scope.check("two")
+        with pytest.raises(CancelledRun):
+            scope.check("three")
+
+    def test_after_constructor(self):
+        scope = CancelScope.after(60.0)
+        assert 59.0 < scope.remaining() <= 60.0
+        assert not scope.expired()
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        req = SampleRequest(app="DeepWalk", graph="ppi", samples=64,
+                            seed=3, tenant="t1", deadline_ms=500.0)
+        body = json.dumps(req.to_json()).encode()
+        back = SampleRequest.from_json(body)
+        assert back == req
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            SampleRequest.from_json(
+                json.dumps({"app": "DeepWalk", "graph": "ppi",
+                            "bogus": 1}).encode())
+
+    def test_hooks_rejected_without_opt_in(self):
+        body = json.dumps({"app": "DeepWalk", "graph": "ppi",
+                           "sleep_before_ms": 50}).encode()
+        with pytest.raises(ValueError, match="test hook"):
+            SampleRequest.from_json(body)
+        req = SampleRequest.from_json(body, allow_test_hooks=True)
+        assert req.hooks == {"sleep_before_ms": 50}
+
+    def test_array_encoding_exact(self):
+        arr = np.arange(12, dtype=np.int64).reshape(3, 4)
+        back = decode_array(encode_array(arr))
+        assert back.dtype == arr.dtype
+        assert np.array_equal(back, arr)
+
+    def test_batch_digest_matches_chaos_algorithm(self, medium_graph):
+        from repro.api.apps import KHop
+        from repro.core.engine import NextDoorEngine
+        result = NextDoorEngine(workers=0).run(
+            KHop(fanouts=(3, 2)), medium_graph, num_samples=32, seed=5)
+        d1 = batch_digest(result.batch)
+        again = NextDoorEngine(workers=0).run(
+            KHop(fanouts=(3, 2)), medium_graph, num_samples=32, seed=5)
+        assert batch_digest(again.batch) == d1
+        arrays = decode_arrays(encode_batch(result))
+        assert np.array_equal(arrays["roots"], result.batch.roots)
+
+
+class TestAdmissionQueue:
+    def test_capacity_bounds_waiting_room(self):
+        q = AdmissionQueue(capacity=2, executors=1)
+        q.submit("a")  # rides the idle executor
+        q.submit("b")
+        q.submit("c")
+        with pytest.raises(QueueFull) as excinfo:
+            q.submit("d")
+        assert excinfo.value.retry_after_s > 0
+
+    def test_idle_executors_admit_beyond_zero_capacity(self):
+        q = AdmissionQueue(capacity=0, executors=2)
+        q.submit("a")
+        assert q.get(timeout=0.1) == "a"  # now 1 idle executor left
+        q.submit("b")
+        with pytest.raises(QueueFull):
+            q.submit("c")
+
+    def test_fifo_order(self):
+        q = AdmissionQueue(capacity=8, executors=1)
+        for name in ("a", "b", "c"):
+            q.submit(name)
+        assert [q.get(timeout=0.1) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_retry_after_scales_with_backlog(self):
+        q = AdmissionQueue(capacity=100, executors=1)
+        q.observe_service(2.0)
+        base = q.retry_after_s()
+        for i in range(4):
+            q.submit(i)
+        assert q.retry_after_s() > base
+
+    def test_ewma_tracks_service_time(self):
+        q = AdmissionQueue(capacity=1, executors=1)
+        for _ in range(50):
+            q.observe_service(1.0)
+        assert q.service_estimate() == pytest.approx(1.0, rel=0.05)
+
+    def test_close_wakes_and_refuses(self):
+        q = AdmissionQueue(capacity=4, executors=1)
+        q.close()
+        with pytest.raises(RuntimeError, match="draining"):
+            q.submit("a")
+        assert q.get(timeout=0.1) is None
+
+    def test_drained_accounting(self):
+        q = AdmissionQueue(capacity=4, executors=1)
+        assert q.drained()
+        q.submit("a")
+        assert not q.drained()
+        q.get(timeout=0.1)
+        assert not q.drained()  # in flight
+        q.task_done()
+        assert q.drained()
+        assert q.wait_drained(timeout=0.1)
+
+
+class TestCircuitBreaker:
+    def test_closed_allows_pooled(self):
+        b = CircuitBreaker(cooldown_s=10.0)
+        assert b.state == CLOSED
+        assert b.allow_pooled()
+
+    def test_degraded_run_opens(self):
+        b = CircuitBreaker(cooldown_s=10.0)
+        b.observe(degraded=True)
+        assert b.state == OPEN
+        assert not b.allow_pooled()
+
+    def test_half_open_leases_single_trial(self):
+        b = CircuitBreaker(cooldown_s=0.05)
+        b.observe(degraded=True)
+        time.sleep(0.06)
+        assert b.allow_pooled()  # the trial
+        assert b.state == HALF_OPEN
+        assert not b.allow_pooled()  # second caller waits
+        b.observe(degraded=False)
+        assert b.state == CLOSED
+        assert b.allow_pooled()
+
+    def test_failed_trial_reopens_with_fresh_cooldown(self):
+        b = CircuitBreaker(cooldown_s=0.05)
+        b.observe(degraded=True)
+        time.sleep(0.06)
+        assert b.allow_pooled()
+        b.observe(degraded=True)
+        assert b.state == OPEN
+        assert not b.allow_pooled()  # cooldown restarted
+
+    def test_abort_trial_releases_lease_without_closing(self):
+        b = CircuitBreaker(cooldown_s=0.05)
+        b.observe(degraded=True)
+        time.sleep(0.06)
+        assert b.allow_pooled()
+        b.abort_trial()
+        assert b.state == HALF_OPEN
+        assert b.allow_pooled()  # lease is free again
+
+
+class TestCoalescer:
+    def _req(self, **kw):
+        fields = dict(app="DeepWalk", graph="ppi", samples=64, seed=1)
+        fields.update(kw)
+        return SampleRequest(**fields)
+
+    def test_leader_then_followers(self):
+        co = Coalescer()
+        key = Coalescer.signature(self._req(), "abc")
+        lease, leader = co.lease(key)
+        assert leader
+        follower, is_leader = co.lease(key)
+        assert not is_leader and follower is lease
+        lease.publish({"status": "ok"})
+        assert follower.wait(1.0) == {"status": "ok"}
+        co.release(lease)
+        _, fresh_leader = co.lease(key)
+        assert fresh_leader  # not a response cache
+
+    def test_signature_covers_bit_determining_fields(self):
+        base = Coalescer.signature(self._req(), "abc")
+        assert Coalescer.signature(self._req(seed=2), "abc") != base
+        assert Coalescer.signature(self._req(samples=65), "abc") != base
+        assert Coalescer.signature(self._req(), "other-graph") != base
+        assert Coalescer.signature(self._req(), "abc",
+                                   engine_config="x") != base
+        # tenant does not determine bits -> identical signature
+        assert Coalescer.signature(self._req(tenant="t2"), "abc") == base
+
+    def test_hooked_requests_never_coalesce(self):
+        hooked = self._req(hooks={"fault_plan": "kill-after-chunk:0.1"})
+        assert Coalescer.signature(hooked, "abc") != \
+            Coalescer.signature(hooked, "abc") or \
+            Coalescer.signature(hooked, "abc") != \
+            Coalescer.signature(self._req(), "abc")
+
+
+class TestGraphCache:
+    def test_dataset_hit_and_content_key(self):
+        cache = GraphCache()
+        g1, c1, hit1 = cache.resolve("ppi", "k-hop", seed=0)
+        g2, c2, hit2 = cache.resolve("ppi", "k-hop", seed=0)
+        assert not hit1 and hit2
+        assert g1 is g2 and c1 == c2
+        assert c1 == graph_content_key(g1)
+
+    def test_weighted_apps_get_separate_entry(self):
+        cache = GraphCache()
+        unweighted, _, _ = cache.resolve("ppi", "k-hop", seed=0)
+        weighted, _, _ = cache.resolve("ppi", "DeepWalk", seed=0)
+        assert unweighted is not weighted
+        assert cache.size() == 2
+
+    def test_file_key_tracks_content(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        cache = GraphCache()
+        _, _, hit = cache.resolve(str(path), "k-hop", seed=0)
+        assert not hit
+        _, _, hit = cache.resolve(str(path), "k-hop", seed=0)
+        assert hit
+        path.write_text("0 1\n1 2\n2 3\n3 0\n")  # rewritten in place
+        _, _, hit = cache.resolve(str(path), "k-hop", seed=0)
+        assert not hit  # stale bytes must not be served
+
+    def test_unknown_graph_is_readable_error(self):
+        with pytest.raises(ValueError, match="unknown graph"):
+            GraphCache().resolve("no-such-graph", "k-hop", seed=0)
+
+
+class TestRetryPolicy:
+    def test_delays_bounded_and_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.1,
+                             max_delay_s=0.5, jitter=0.25, seed=7)
+        d1 = list(policy.delays())
+        d2 = list(policy.delays())
+        assert d1 == d2  # seeded
+        assert len(d1) == 4
+        assert all(d <= 0.5 * 1.25 for d in d1)
+
+    def test_different_seeds_desynchronise(self):
+        a = list(RetryPolicy(seed=1).delays())
+        b = list(RetryPolicy(seed=2).delays())
+        assert a != b
+
+    def test_client_result_accessors(self):
+        r = ClientResult(status="ok", response={"digest": "abc"},
+                         attempts=1, wall_s=0.1)
+        assert r.ok and r.digest == "abc"
+        r = ClientResult(status="rejected", response={}, attempts=4,
+                         wall_s=0.2)
+        assert not r.ok and r.digest is None
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServerConfig(port=0, queue_capacity=4, executors=2,
+                          workers=0, allow_test_hooks=True)
+    with SamplingServer(config) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(port=server.port,
+                       retry=RetryPolicy(max_attempts=1))
+
+
+class TestServerHTTP:
+    def test_served_bits_match_direct(self, client):
+        from repro.bench.runner import paper_app, paper_graph
+        from repro.core.engine import NextDoorEngine
+        r = client.sample(SampleRequest(app="k-hop", graph="ppi",
+                                        samples=48, seed=13))
+        assert r.ok
+        graph = paper_graph("ppi", "k-hop", seed=13)
+        direct = NextDoorEngine(workers=0).run(
+            paper_app("k-hop"), graph, num_samples=48, seed=13)
+        assert r.digest == batch_digest(direct.batch)
+        assert np.array_equal(r.arrays["roots"], direct.batch.roots)
+
+    def test_no_samples_omits_arrays(self, client):
+        r = client.sample(SampleRequest(app="k-hop", graph="ppi",
+                                        samples=16, seed=1,
+                                        return_samples=False))
+        assert r.ok and r.arrays == {} and r.digest
+
+    def test_unknown_app_is_400(self, client):
+        r = client.sample(SampleRequest(app="bogus", graph="ppi"))
+        assert r.status == "bad_request"
+        assert "bogus" in r.response["error"]
+
+    def test_unknown_graph_is_400(self, client):
+        r = client.sample(SampleRequest(app="k-hop", graph="no-such"))
+        assert r.status == "bad_request"
+
+    def test_expired_deadline_is_504_at_enqueue(self, client):
+        r = client.sample(SampleRequest(app="k-hop", graph="ppi",
+                                        samples=16, deadline_ms=0.0))
+        assert r.status == "deadline_exceeded"
+        assert r.response["stage"] == "enqueue"
+
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["executors"] == 2
+        assert health["breaker"] == "closed"
+
+    def test_metrics_endpoint_is_valid_openmetrics(self, client):
+        from repro.obs.openmetrics import validate_openmetrics
+        client.sample(SampleRequest(app="k-hop", graph="ppi",
+                                    samples=16, seed=2))
+        text = client.metrics_text()
+        samples = validate_openmetrics(text)  # raises on malformed text
+        assert any(name.startswith("serve_requests")
+                   for name in samples)
+
+    def test_request_counter_labels(self, server, client):
+        before = get_metrics().counter(
+            "serve.requests", labels={"tenant": "acme", "app": "k-hop",
+                                      "status": "ok"}).value
+        r = client.sample(SampleRequest(app="k-hop", graph="ppi",
+                                        samples=16, seed=3,
+                                        tenant="acme"))
+        assert r.ok
+        after = get_metrics().counter(
+            "serve.requests", labels={"tenant": "acme", "app": "k-hop",
+                                      "status": "ok"}).value
+        assert after == before + 1
+
+    def test_queue_full_is_429_with_retry_after(self, server, client):
+        # Pin both executors, fill the 4-slot waiting room, then the
+        # next request is deterministically rejected with Retry-After.
+        fillers = [threading.Thread(target=client.sample, args=(
+            SampleRequest(app="k-hop", graph="ppi", samples=16,
+                          seed=40 + i,
+                          hooks={"sleep_before_ms": 700}),))
+            for i in range(6)]  # 2 executors + 4 queue slots
+        for t in fillers:
+            t.start()
+        deadline = time.monotonic() + 5.0
+        while ((server.admission.inflight() < 2
+                or server.admission.depth() < 4)
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert server.admission.depth() == 4
+        rejected = client.sample(SampleRequest(
+            app="k-hop", graph="ppi", samples=16, seed=50))
+        for t in fillers:
+            t.join()
+        assert rejected.status == "rejected"
+        assert rejected.response["retry_after_ms"] > 0
+
+    def test_retry_policy_eventually_succeeds(self, server):
+        # A 1-deep queue with a patient client: first attempts may be
+        # rejected, the retries land once the blocker finishes.
+        patient = ServeClient(port=server.port,
+                              retry=RetryPolicy(max_attempts=6,
+                                                base_delay_s=0.1,
+                                                max_delay_s=0.4))
+        blocker = threading.Thread(target=patient.sample, args=(
+            SampleRequest(app="k-hop", graph="ppi", samples=16,
+                          seed=30, hooks={"sleep_before_ms": 400}),))
+        blocker.start()
+        r = patient.sample(SampleRequest(app="k-hop", graph="ppi",
+                                         samples=16, seed=31))
+        blocker.join()
+        assert r.ok
+
+    def test_cancel_hook_reports_midrun_stage(self, client):
+        r = client.sample(SampleRequest(
+            app="k-hop", graph="ppi", samples=48, seed=13,
+            hooks={"cancel_after_checks": 2}))
+        assert r.status == "deadline_exceeded"
+        assert r.response["stage"] == "mid-run"
+
+    def test_bad_json_is_400(self, server):
+        client = ServeClient(port=server.port)
+        response = client._post("/v1/sample", b"{not json")
+        assert response["status"] == "bad_request"
+
+    def test_unknown_endpoint_is_400(self, server):
+        client = ServeClient(port=server.port)
+        response = client._post("/v1/nope", b"{}")
+        assert response["status"] == "bad_request"
+
+
+class TestDrain:
+    def test_drain_refuses_then_finishes(self):
+        config = ServerConfig(port=0, queue_capacity=4, executors=1,
+                              workers=0, allow_test_hooks=True)
+        server = SamplingServer(config).start()
+        client = ServeClient(port=server.port,
+                             retry=RetryPolicy(max_attempts=1))
+        done = []
+        t = threading.Thread(target=lambda: done.append(client.sample(
+            SampleRequest(app="k-hop", graph="ppi", samples=16, seed=1,
+                          hooks={"sleep_before_ms": 400}))))
+        t.start()
+        deadline = time.monotonic() + 5.0
+        while (server.admission.inflight() == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        server.begin_drain()
+        refused = client.sample(SampleRequest(app="k-hop", graph="ppi",
+                                              samples=16, seed=2))
+        assert refused.status == "draining"
+        assert server.drain(timeout=10.0)
+        t.join()
+        assert done[0].status == "ok"
+
+    def test_drain_flushes_stats(self, tmp_path):
+        out = str(tmp_path / "stats.txt")
+        config = ServerConfig(port=0, executors=1, workers=0,
+                              stats_out=out, stats_format="openmetrics")
+        server = SamplingServer(config).start()
+        ServeClient(port=server.port).sample(
+            SampleRequest(app="k-hop", graph="ppi", samples=16, seed=1))
+        assert server.drain(timeout=5.0)
+        from repro.obs.openmetrics import validate_openmetrics
+        text = open(out).read()
+        validate_openmetrics(text)  # raises on malformed text
+        assert "serve_requests" in text

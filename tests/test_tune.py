@@ -108,6 +108,85 @@ class TestTuneDB:
         db = TuneDB(str(tmp_path / "db.json"))
         assert db.lookup("DeepWalk", graph) is None
 
+    def test_two_writers_interleave_without_clobbering(self, tmp_path,
+                                                       graph):
+        # Race shape: both writers load the (empty) DB, then each
+        # records a different entry and saves.  Without the locked
+        # read-merge-write in save(), whichever writer saves last
+        # would erase the other's entry.
+        path = str(tmp_path / "db.json")
+        other = rmat_graph(400, 2400, seed=23, name="tune-test-other")
+        writer_a = TuneDB(path)
+        writer_b = TuneDB(path)
+        writer_a.record("DeepWalk", graph, TuneConfig(relabel="degree"),
+                        objective="model", score=0.5, baseline=1.0,
+                        trials=3)
+        writer_b.record("PPR", other, TuneConfig(chunk_size=512),
+                        objective="model", score=0.25, baseline=1.0,
+                        trials=4)
+        writer_a.save()
+        writer_b.save()
+        merged = TuneDB(path)
+        assert merged.lookup("DeepWalk", graph) == \
+            TuneConfig(relabel="degree")
+        assert merged.lookup("PPR", other) == TuneConfig(chunk_size=512)
+
+    def test_save_only_overwrites_own_dirty_keys(self, tmp_path, graph):
+        # A stale instance that merely *read* an entry must not revert
+        # a newer on-disk value for it when saving its own work.
+        path = str(tmp_path / "db.json")
+        first = TuneDB(path)
+        first.record("DeepWalk", graph, TuneConfig(relabel="degree"),
+                     objective="model", score=0.5, baseline=1.0,
+                     trials=3)
+        first.save()
+        stale = TuneDB(path)  # holds relabel="degree" in memory
+        newer = TuneDB(path)
+        newer.record("DeepWalk", graph, TuneConfig(chunk_size=256),
+                     objective="model", score=0.4, baseline=1.0,
+                     trials=5)
+        newer.save()
+        other = rmat_graph(400, 2400, seed=23, name="tune-test-other")
+        stale.record("PPR", other, TuneConfig(), objective="model",
+                     score=1.0, baseline=1.0, trials=1)
+        stale.save()
+        merged = TuneDB(path)
+        assert merged.lookup("DeepWalk", graph) == \
+            TuneConfig(chunk_size=256)
+        assert merged.lookup("PPR", other) == TuneConfig()
+
+    def test_concurrent_process_writers_all_survive(self, tmp_path):
+        # Two real processes hammer the same DB through the advisory
+        # lock; every entry must survive.
+        import subprocess
+        import sys
+        path = str(tmp_path / "db.json")
+        script = (
+            "import sys\n"
+            "from repro.tune import TuneDB, TuneConfig\n"
+            "from repro.graph.generators import rmat_graph\n"
+            "tag = int(sys.argv[1]); path = sys.argv[2]\n"
+            "g = rmat_graph(200, 900, seed=tag, name=f'w{tag}')\n"
+            "for i in range(5):\n"
+            "    db = TuneDB(path)\n"
+            "    db.record(f'app{tag}.{i}', g, TuneConfig(),\n"
+            "              objective='model', score=1.0, baseline=1.0,\n"
+            "              trials=1)\n"
+            "    db.save()\n")
+        procs = [subprocess.Popen(
+            [sys.executable, "-c", script, str(tag), path],
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(
+                     [os.path.join(os.path.dirname(__file__), os.pardir,
+                                   "src")] +
+                     os.environ.get("PYTHONPATH", "").split(os.pathsep))})
+            for tag in (1, 2)]
+        for p in procs:
+            assert p.wait(timeout=120) == 0
+        merged = TuneDB(path)
+        assert merged.validate() == []
+        assert len(merged.entries) == 10
+
     def test_fingerprint_tracks_content(self, graph):
         other = rmat_graph(400, 2400, seed=23, name="tune-test-rmat")
         assert graph_fingerprint("DeepWalk", graph) != \
